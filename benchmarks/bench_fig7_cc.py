@@ -1,0 +1,52 @@
+"""Fig 7: connected-components weak (7a) and strong (7b) scaling."""
+
+import pytest
+
+from repro.apps import make_connected_components
+from repro.bench import fig7
+from repro.bench.harness import SweepConfig, run_ygm
+from repro.graph import rmat_stream
+
+
+def test_benchmark_cc_with_delegates(benchmark, tiny_sweep):
+    """Wall-clock of one CC configuration with delegates (NLNR, 4 nodes)."""
+    stream = rmat_stream(scale=10, edges_per_rank=2**10, seed=0)
+
+    def run():
+        return run_ygm(
+            make_connected_components(stream, delegate_threshold=30.0, batch_size=2**11),
+            tiny_sweep.machine(4),
+            "nlnr",
+            tiny_sweep.mailbox_capacity,
+        )
+
+    res = benchmark(run)
+    assert res.values[0].delegate_count > 0
+    assert res.mailbox_stats.bcasts_initiated > 0
+
+
+def test_shape_fig7a_weak(tiny_sweep):
+    """Paper shape: broadcast count grows under weak scaling despite the
+    scaled threshold; routed schemes beat NoRoute at the largest N."""
+    table = fig7.run_weak(tiny_sweep)
+    table.print()
+    n_max = max(tiny_sweep.node_counts)
+    n_min = min(tiny_sweep.node_counts)
+
+    bcasts = table.series("nodes", "broadcasts", scheme="node_remote")
+    assert bcasts[n_max] > bcasts[n_min]  # Fig 7a growth curve
+    delegates = table.series("nodes", "delegates", scheme="node_remote")
+    assert delegates[n_max] > delegates[n_min]
+
+    secs = table.series("scheme", "seconds", nodes=n_max)
+    assert min(secs, key=secs.get) != "noroute"
+
+
+def test_shape_fig7b_strong(tiny_sweep):
+    """Strong scaling: same graph, more nodes -> routed schemes do not
+    lose to NoRoute."""
+    table = fig7.run_strong(tiny_sweep, total_verts_log2=11, total_edges_log2=14)
+    table.print()
+    n_max = max(tiny_sweep.node_counts)
+    secs = table.series("scheme", "seconds", nodes=n_max)
+    assert secs["node_remote"] <= secs["noroute"]

@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Connected components on a scale-free graph with vertex delegates.
+
+Reproduces the paper's Section V-B application: min-label propagation on
+an RMAT graph whose hubs are handled as *delegates* -- replicated on all
+ranks, synchronised after each pass with YGM's asynchronous broadcasts.
+Verifies the result against networkx and shows how delegates change the
+message/broadcast mix.
+
+Usage: ``python examples/connected_components.py``.
+"""
+
+import networkx as nx
+import numpy as np
+
+from repro import YgmWorld
+from repro.apps import gather_global_labels, make_connected_components
+from repro.graph import rmat_stream
+from repro.machine import bench_machine
+
+
+def networkx_labels(stream, nranks):
+    g = nx.Graph()
+    g.add_nodes_from(range(stream.num_vertices))
+    for rank in range(nranks):
+        u, v = stream.all_edges(rank)
+        g.add_edges_from(zip(u.tolist(), v.tolist()))
+    labels = np.arange(stream.num_vertices, dtype=np.int64)
+    for comp in nx.connected_components(g):
+        labels[list(comp)] = min(comp)
+    return labels
+
+
+def main():
+    nodes, cores = 4, 4
+    nranks = nodes * cores
+    stream = rmat_stream(scale=10, edges_per_rank=2**10, seed=42)
+    expected = networkx_labels(stream, nranks)
+    ncomps = len(np.unique(expected))
+    print(f"RMAT graph: 2^10 vertices, {2**10 * nranks} edges, "
+          f"{ncomps} connected components\n")
+
+    for threshold, label in ((None, "no delegates"), (60.0, "delegates > deg 60")):
+        world = YgmWorld(
+            bench_machine(nodes, cores_per_node=cores), scheme="nlnr", seed=0
+        )
+        result = world.run(
+            make_connected_components(stream, delegate_threshold=threshold)
+        )
+        labels = gather_global_labels(result.values, stream.num_vertices, nranks)
+        assert np.array_equal(labels, expected), f"{label}: wrong labels!"
+        r0 = result.values[0]
+        s = result.mailbox_stats
+        print(f"[{label}]")
+        print(f"  simulated seconds : {result.elapsed:.6f}")
+        print(f"  passes            : {r0.passes}")
+        print(f"  delegates         : {r0.delegate_count}")
+        print(f"  label messages    : {s.app_messages_sent}")
+        print(f"  async broadcasts  : {s.bcasts_initiated} "
+              f"({s.bcast_deliveries} deliveries)")
+        print()
+    print("Both variants match networkx. Delegates trade point-to-point "
+          "hub traffic for broadcast synchronisation (paper Section V-B).")
+
+
+if __name__ == "__main__":
+    main()

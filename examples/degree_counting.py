@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Degree counting (paper Algorithm 1) across all four routing schemes.
+
+Streams a uniformly-sampled edge list through YGM mailboxes, counts
+vertex degrees at round-robin owners, verifies against a direct recount,
+and compares the routing schemes' simulated wall-clock and coalescing
+quality -- a miniature of the paper's Fig 6.
+
+Usage: ``python examples/degree_counting.py [nodes] [cores]``.
+"""
+
+import sys
+
+import numpy as np
+
+from repro import YgmWorld
+from repro.apps import gather_global_degrees, make_degree_counting
+from repro.bench.harness import schemes_for
+from repro.graph import er_stream
+from repro.machine import bench_machine
+
+
+def main():
+    nodes = int(sys.argv[1]) if len(sys.argv) > 1 else 8
+    cores = int(sys.argv[2]) if len(sys.argv) > 2 else 4
+    nranks = nodes * cores
+    edges_per_rank = 2**12
+    num_vertices = 1024 * nranks
+
+    stream = er_stream(num_vertices=num_vertices, edges_per_rank=edges_per_rank, seed=7)
+
+    # Ground truth by recounting the full stream directly.
+    expected = np.zeros(num_vertices, dtype=np.int64)
+    for rank in range(nranks):
+        u, v = stream.all_edges(rank)
+        expected += np.bincount(u, minlength=num_vertices)
+        expected += np.bincount(v, minlength=num_vertices)
+
+    print(f"machine: {nodes} nodes x {cores} cores; "
+          f"{edges_per_rank * nranks} edges over {num_vertices} vertices\n")
+    print(f"{'scheme':<14}{'sim seconds':>14}{'avg remote pkt':>16}{'remote pkts':>13}")
+    for scheme in schemes_for(nodes, cores):
+        world = YgmWorld(
+            bench_machine(nodes, cores_per_node=cores),
+            scheme=scheme,
+            mailbox_capacity=2**12,
+        )
+        result = world.run(make_degree_counting(stream, batch_size=2**12))
+        degrees = gather_global_degrees(result.values, num_vertices, nranks)
+        assert np.array_equal(degrees, expected), f"{scheme}: wrong degrees!"
+        s = result.mailbox_stats
+        print(f"{scheme:<14}{result.elapsed:>14.6f}"
+              f"{s.avg_remote_packet_bytes:>14.0f} B{s.remote_packets_sent:>13}")
+    print("\nAll schemes produced identical, correct degree counts.")
+    print("Note how the average remote packet grows NoRoute < NodeLocal <= "
+          "NodeRemote < NLNR (paper Section III-E).")
+
+
+if __name__ == "__main__":
+    main()

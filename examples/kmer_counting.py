@@ -1,0 +1,51 @@
+#!/usr/bin/env python
+"""HipMer-style distributed k-mer counting over YGM.
+
+Section II of the paper argues HipMer's frequent-k-mer identification
+maps onto YGM's mailboxes; this example runs it: synthetic reads with a
+repetitive-region skew are sheared into 2-bit-packed k-mers, hashed to
+owning ranks through the vectorized send path, counted, and the frequent
+set (the hubs of the de Bruijn graph) is extracted.
+
+Usage: ``python examples/kmer_counting.py``.
+"""
+
+import numpy as np
+
+from repro import YgmWorld
+from repro.apps import make_kmer_counting, merge_counts, unpack_kmer
+from repro.machine import bench_machine
+
+
+def main():
+    nodes, cores, k = 4, 4, 12
+    n_reads, read_len = 200, 80
+    world = YgmWorld(
+        bench_machine(nodes, cores_per_node=cores), scheme="nlnr", seed=7
+    )
+    result = world.run(
+        make_kmer_counting(
+            n_reads, read_len, k, frequent_threshold=4, skew=0.7
+        )
+    )
+    counts = merge_counts(result.values)
+    frequent = sorted(
+        ((c, km) for _, freq in result.values for km in freq
+         for c in [counts[km]]),
+        reverse=True,
+    )
+    total = sum(counts.values())
+    print(f"{nodes}x{cores} cores, k={k}: {total} k-mers sheared from "
+          f"{n_reads * nodes * cores} reads, {len(counts)} distinct")
+    print(f"simulated time: {result.elapsed * 1e3:.3f} ms; "
+          f"{result.mailbox_stats.remote_packets_sent} remote packets\n")
+    print("top frequent k-mers (count > 4):")
+    for c, km in frequent[:8]:
+        print(f"  {unpack_kmer(int(km), k)}  x{c}")
+    assert frequent, "skewed reads should produce frequent k-mers"
+    print("\nOwnership is hash-partitioned and disjoint; counts verified "
+          "in tests/apps/test_kmer_count.py against a direct recount.")
+
+
+if __name__ == "__main__":
+    main()

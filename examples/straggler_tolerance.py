@@ -1,0 +1,32 @@
+#!/usr/bin/env python
+"""The paper's motivation, demonstrated: a straggling rank under BSP vs YGM.
+
+One rank is made artificially slow.  Under the bulk-synchronous baseline
+every rank idles at every superstep waiting for it; under YGM the other
+ranks queue, flush and finish their own work early -- their cores are
+free -- and only the global drain (wait_empty) observes the straggler.
+
+Usage: ``python examples/straggler_tolerance.py``.
+"""
+
+import numpy as np
+
+from repro.bench.ablations import run_straggler_comparison
+
+
+def main():
+    table = run_straggler_comparison(
+        nodes=4, cores=4, edges_per_rank=2**12, straggler_delay=5e-4
+    )
+    table.print()
+    work = table.series("impl", "avg_work_done_others")
+    speedup = work["bsp_alltoallv"] / work["ygm/node_remote"]
+    print(
+        f"\nNon-straggler ranks get their cores back {speedup:.1f}x earlier "
+        "under YGM than under the BSP exchange -- the utilisation argument "
+        "of the paper's introduction."
+    )
+
+
+if __name__ == "__main__":
+    main()

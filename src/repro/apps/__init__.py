@@ -1,0 +1,54 @@
+"""The paper's benchmark applications (Section V) plus the workloads its
+surrounding sections motivate: asynchronous BFS and SSSP (the Graph500
+kernels of the introduction) and HipMer-style distributed k-mer counting
+(the Section II related-work claim)."""
+
+from .bfs import BFS_SPEC, UNREACHED, gather_global_distances, make_bfs
+from .sssp import SSSP_SPEC, edge_weights, gather_global_sssp, make_sssp
+from .kmer_count import (
+    KMER_SPEC,
+    kmer_owner,
+    make_kmer_counting,
+    merge_counts,
+    random_reads,
+    shear_kmers,
+    unpack_kmer,
+)
+from .connected_components import (
+    CCResult,
+    CC_SPEC,
+    gather_global_labels,
+    make_connected_components,
+)
+from .degree_count import (
+    DEGREE_SPEC,
+    gather_global_degrees,
+    make_degree_counting,
+    make_degree_counting_scalar,
+)
+
+__all__ = [
+    "BFS_SPEC",
+    "SSSP_SPEC",
+    "KMER_SPEC",
+    "kmer_owner",
+    "make_kmer_counting",
+    "merge_counts",
+    "random_reads",
+    "shear_kmers",
+    "unpack_kmer",
+    "edge_weights",
+    "gather_global_sssp",
+    "make_sssp",
+    "UNREACHED",
+    "gather_global_distances",
+    "make_bfs",
+    "CCResult",
+    "CC_SPEC",
+    "DEGREE_SPEC",
+    "gather_global_degrees",
+    "gather_global_labels",
+    "make_connected_components",
+    "make_degree_counting",
+    "make_degree_counting_scalar",
+]

@@ -1,0 +1,145 @@
+"""Asynchronous breadth-first search (hop distances from a source).
+
+The paper motivates YGM with LLNL's Graph500 submission, which runs BFS
+through this communication layer (Section I).  This app reproduces the
+HavoqGT-style *asynchronous* traversal: there are no level barriers --
+a rank that receives a distance update relaxes the vertex and immediately
+posts updates for its neighbours **from inside the receive callback**,
+so the frontier expands wavefront-style through the mailboxes and the
+whole traversal is a single ``wait_empty`` epoch.
+
+An update ``(v, d)`` may arrive out of order (a longer path first); the
+monotone relax ``dist[v] = min(dist[v], d)`` guarantees convergence to
+true hop distances, at the cost of some re-expansion -- the classic
+asynchronous-BFS trade the paper's ecosystem makes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generator, List, Optional
+
+import numpy as np
+
+from ..core.context import YgmContext
+from ..graph.generators import EdgeStream
+from ..graph.partition import CyclicPartition
+from ..serde import RecordSpec
+
+#: Distance update: ``dist(vertex) = min(dist(vertex), dist)``.
+BFS_SPEC = RecordSpec("bfs", [("vertex", "u8"), ("dist", "u8")])
+#: Edge-distribution record for building the local adjacency.
+ADJ_SPEC = RecordSpec("bfs_adj", [("src", "u8"), ("dst", "u8")])
+
+#: "Unreached" sentinel (fits in u8 arithmetic with headroom).
+UNREACHED = np.iinfo(np.int64).max // 4
+
+
+def make_bfs(
+    stream: EdgeStream,
+    source: int,
+    batch_size: int = 8192,
+    capacity: Optional[int] = None,
+) -> Callable[[YgmContext], Generator]:
+    """Build the async-BFS rank program for ``stream`` from ``source``.
+
+    Returns each rank's hop-distance array for its owned vertices
+    (``UNREACHED`` for vertices not connected to the source).
+    """
+    if not 0 <= source < stream.num_vertices:
+        raise ValueError(f"source {source} out of range")
+
+    def rank_main(ctx: YgmContext) -> Generator:
+        nranks, rank = ctx.nranks, ctx.rank
+        part = CyclicPartition(stream.num_vertices, nranks)
+
+        # ---------------------------------- phase A: adjacency build
+        adj_src_parts: List[np.ndarray] = []
+        adj_dst_parts: List[np.ndarray] = []
+
+        def on_adj(batch: np.ndarray) -> None:
+            adj_src_parts.append(batch["src"].astype(np.int64))
+            adj_dst_parts.append(batch["dst"].astype(np.int64))
+
+        adj_mb = ctx.mailbox(recv_batch=on_adj, capacity=capacity)
+        gen_cost = ctx.machine.config.compute.per_edge_gen
+        for u, v in stream.batches(ctx.rank, batch_size):
+            yield ctx.compute(len(u) * gen_cost)
+            src = np.concatenate((u, v))
+            dst = np.concatenate((v, u))
+            yield from adj_mb.send_batch(
+                part.owner_vec(src),
+                ADJ_SPEC.build(src=src.astype("u8"), dst=dst.astype("u8")),
+                spec=ADJ_SPEC,
+            )
+        yield from adj_mb.wait_empty()
+
+        if adj_src_parts:
+            a_src = np.concatenate(adj_src_parts)
+            a_dst = np.concatenate(adj_dst_parts)
+        else:
+            a_src = a_dst = np.empty(0, dtype=np.int64)
+        # CSR over local ids: neighbours of owned vertex by local id.
+        local_src = part.local_id_vec(a_src)
+        nlocal = part.local_count(rank)
+        order = np.argsort(local_src, kind="stable")
+        sorted_src = local_src[order]
+        sorted_dst = a_dst[order]
+        indptr = np.searchsorted(sorted_src, np.arange(nlocal + 1))
+
+        # ---------------------------------- phase B: async traversal
+        dist = np.full(nlocal, UNREACHED, dtype=np.int64)
+
+        def relax(batch: np.ndarray) -> None:
+            ids = part.local_id_vec(batch["vertex"].astype(np.int64))
+            new = batch["dist"].astype(np.int64)
+            improved_mask = new < dist[ids]
+            if not improved_mask.any():
+                return
+            ids = ids[improved_mask]
+            new = new[improved_mask]
+            # Several updates for one vertex may coexist in a batch; keep
+            # the minimum, then re-check which actually improve.
+            np.minimum.at(dist, ids, new)
+            uniq = np.unique(ids)
+            _expand(uniq)
+
+        def _expand(local_ids: np.ndarray) -> None:
+            """Post distance dist[v]+1 to every neighbour of each v."""
+            counts = indptr[local_ids + 1] - indptr[local_ids]
+            total = int(counts.sum())
+            if total == 0:
+                return
+            neigh = np.empty(total, dtype=np.int64)
+            dvals = np.empty(total, dtype=np.int64)
+            pos = 0
+            for lid, cnt in zip(local_ids.tolist(), counts.tolist()):
+                if cnt == 0:
+                    continue
+                lo = indptr[lid]
+                neigh[pos : pos + cnt] = sorted_dst[lo : lo + cnt]
+                dvals[pos : pos + cnt] = dist[lid] + 1
+                pos += cnt
+            mb.post_batch(
+                part.owner_vec(neigh),
+                BFS_SPEC.build(vertex=neigh.astype("u8"), dist=dvals.astype("u8")),
+                spec=BFS_SPEC,
+            )
+
+        mb = ctx.mailbox(recv_batch=relax, capacity=capacity)
+        if part.owner(source) == rank:
+            lid = part.local_id(source)
+            dist[lid] = 0
+            _expand(np.array([lid], dtype=np.int64))
+        yield from mb.wait_empty()
+        return dist
+
+    return rank_main
+
+
+def gather_global_distances(values, num_vertices: int, nranks: int) -> np.ndarray:
+    """Reassemble the global distance array from per-rank results."""
+    part = CyclicPartition(num_vertices, nranks)
+    out = np.full(num_vertices, UNREACHED, dtype=np.int64)
+    for rank, local in enumerate(values):
+        out[part.local_vertices(rank)] = local
+    return out

@@ -1,0 +1,284 @@
+"""Connected components by min-label propagation (paper Section V-B).
+
+Every vertex holds a label initialised to its own global id; each pass
+over the edges sends each vertex's label to its neighbours, which keep
+the minimum.  The algorithm converges (in at most ``diam(G)`` passes) to
+every vertex holding the minimum vertex id of its component.  As in the
+paper, this is deliberately the *simple* benchmark algorithm -- a
+Shiloach-Vishkin variant would converge in O(log |V|) passes but would
+not exercise broadcast-heavy delegate synchronisation.
+
+High-degree vertices are handled with **delegates** [Pearce et al.]:
+
+* delegate ids are found by a degree-counting pre-pass (YGM itself),
+* delegate labels are replicated on every rank; delegate *edges* are
+  colocated -- stored at the owner of the non-delegate endpoint, so they
+  update the replicated label locally, with no message,
+* after each pass, improved delegate labels are sent to the delegate's
+  *home* rank, which disseminates them with YGM's **asynchronous
+  broadcasts** (``post_bcast`` from inside the receive callback -- the
+  lazy synchronisation pattern the paper advocates).
+
+The returned per-rank result is the label array of the rank's owned
+vertices plus per-pass diagnostics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Generator, List, Optional
+
+import numpy as np
+
+from ..core.context import YgmContext
+from ..graph.delegates import DelegateSet
+from ..graph.generators import EdgeStream
+from ..graph.partition import CyclicPartition
+from ..serde import RecordSpec
+
+#: Label-update message: set ``label(vertex) = min(label(vertex), label)``.
+CC_SPEC = RecordSpec("cc_label", [("vertex", "u8"), ("label", "u8")])
+#: Edge-distribution message: kind 0 = plain directed edge (src owns the
+#: label to ship, dst receives updates); kind 1 = colocated delegate edge
+#: (src non-delegate, dst delegate).
+EDGE_SPEC = RecordSpec("cc_edge", [("src", "u8"), ("dst", "u8"), ("kind", "u1")])
+#: Degree-count message for the delegate-identification pre-pass.
+DEG_SPEC = RecordSpec("cc_degree", [("vertex", "u8")])
+
+
+@dataclass
+class CCResult:
+    """Per-rank output of the connected-components program."""
+
+    labels: np.ndarray  # labels of owned vertices (by local id)
+    passes: int
+    delegate_count: int
+    bcasts: int = 0
+
+
+def make_connected_components(
+    stream: EdgeStream,
+    delegate_threshold: Optional[float] = None,
+    batch_size: int = 8192,
+    capacity: Optional[int] = None,
+    max_passes: int = 200,
+) -> Callable[[YgmContext], Generator]:
+    """Build the CC rank program.
+
+    ``delegate_threshold``: vertices with degree strictly above it become
+    delegates; ``None`` disables delegates entirely (no broadcasts).
+    """
+
+    def rank_main(ctx: YgmContext) -> Generator:
+        nranks, rank = ctx.nranks, ctx.rank
+        n = stream.num_vertices
+        part = CyclicPartition(n, nranks)
+        handle_cost = ctx.machine.config.compute.per_message_handle
+        gen_cost = ctx.machine.config.compute.per_edge_gen
+
+        # ------------------------------------------------ edge generation
+        gen_u, gen_v = stream.all_edges(rank)
+        yield ctx.compute(len(gen_u) * gen_cost)
+
+        # ------------------------------------- phase A: find delegates
+        if delegate_threshold is not None:
+            degrees = np.zeros(part.local_count(rank), dtype=np.int64)
+
+            def on_deg(batch: np.ndarray) -> None:
+                ids = part.local_id_vec(batch["vertex"].astype(np.int64))
+                degrees[:] += np.bincount(ids, minlength=len(degrees))
+
+            deg_mb = ctx.mailbox(recv_batch=on_deg, capacity=capacity)
+            verts = np.concatenate((gen_u, gen_v))
+            yield from deg_mb.send_batch(
+                part.owner_vec(verts), DEG_SPEC.build(vertex=verts.astype("u8")),
+                spec=DEG_SPEC,
+            )
+            yield from deg_mb.wait_empty()
+            mine = part.local_vertices(rank)[degrees > delegate_threshold]
+            all_delegate_arrays = yield from ctx.comm.allgather(mine)
+            delegates = DelegateSet(np.concatenate(all_delegate_arrays))
+        else:
+            deg_mb = ctx.mailbox(recv_batch=lambda b: None, capacity=capacity)
+            yield from deg_mb.wait_empty()  # keep mailbox creation collective
+            delegates = DelegateSet(np.empty(0, dtype=np.int64))
+
+        # --------------------------------- phase B: distribute the edges
+        nd_src_parts: List[np.ndarray] = []
+        nd_dst_parts: List[np.ndarray] = []
+        mx_src_parts: List[np.ndarray] = []
+        mx_dst_parts: List[np.ndarray] = []
+
+        def on_edge(batch: np.ndarray) -> None:
+            plain = batch["kind"] == 0
+            nd_src_parts.append(batch["src"][plain].astype(np.int64))
+            nd_dst_parts.append(batch["dst"][plain].astype(np.int64))
+            mixed = ~plain
+            mx_src_parts.append(batch["src"][mixed].astype(np.int64))
+            mx_dst_parts.append(batch["dst"][mixed].astype(np.int64))
+
+        edge_mb = ctx.mailbox(recv_batch=on_edge, capacity=capacity)
+        du, dv, _either = delegates.split_edges(gen_u, gen_v)
+        dd_mask = du & dv
+        # Delegate-delegate edges stay where they were generated: both
+        # endpoints are replicated everywhere.
+        dd_u, dd_v = gen_u[dd_mask], gen_v[dd_mask]
+        for lo in range(0, len(gen_u), batch_size):
+            hi = lo + batch_size
+            u, v = gen_u[lo:hi], gen_v[lo:hi]
+            bu, bv, bdd = du[lo:hi], dv[lo:hi], dd_mask[lo:hi]
+            plain = ~(bu | bv)
+            # Plain edges: both directions, owned by the source's owner.
+            src = np.concatenate((u[plain], v[plain]))
+            dst = np.concatenate((v[plain], u[plain]))
+            # Mixed edges: colocate at the non-delegate endpoint's owner.
+            only_v = bv & ~bu & ~bdd
+            only_u = bu & ~bv & ~bdd
+            m_src = np.concatenate((u[only_v], v[only_u]))
+            m_dst = np.concatenate((v[only_v], u[only_u]))
+            all_src = np.concatenate((src, m_src))
+            all_dst = np.concatenate((dst, m_dst))
+            kinds = np.concatenate(
+                (np.zeros(len(src), dtype="u1"), np.ones(len(m_src), dtype="u1"))
+            )
+            if len(all_src):
+                yield from edge_mb.send_batch(
+                    part.owner_vec(all_src),
+                    EDGE_SPEC.build(
+                        src=all_src.astype("u8"), dst=all_dst.astype("u8"), kind=kinds
+                    ),
+                    spec=EDGE_SPEC,
+                )
+        yield from edge_mb.wait_empty()
+
+        def cat(parts: List[np.ndarray]) -> np.ndarray:
+            return np.concatenate(parts) if parts else np.empty(0, dtype=np.int64)
+
+        nd_src, nd_dst = cat(nd_src_parts), cat(nd_dst_parts)
+        mx_src, mx_dst = cat(mx_src_parts), cat(mx_dst_parts)
+        nd_src_local = part.local_id_vec(nd_src)
+        mx_src_local = part.local_id_vec(mx_src)
+        mx_dst_slot = delegates.slots_vec(mx_dst)
+        dd_u_slot = delegates.slots_vec(dd_u)
+        dd_v_slot = delegates.slots_vec(dd_v)
+
+        # ------------------------------- phase C: min-label propagation
+        labels = part.local_vertices(rank).astype(np.int64)
+        del_labels = delegates.vertices.astype(np.int64).copy()
+        # The home rank's view of what it last disseminated.
+        is_home = (
+            part.owner_vec(delegates.vertices) == rank
+            if delegates.count
+            else np.empty(0, dtype=bool)
+        )
+        home_published = del_labels.copy()
+        changed = np.zeros(1, dtype=bool)
+
+        def on_label(batch: np.ndarray) -> None:
+            ids = part.local_id_vec(batch["vertex"].astype(np.int64))
+            new = batch["label"].astype(np.int64)
+            before = labels[ids]
+            np.minimum.at(labels, ids, new)
+            if (labels[ids] != before).any():
+                changed[0] = True
+
+        def on_sync(msg) -> None:
+            # Point-to-point delegate update arriving at the home rank.
+            slot, label = msg
+            if label < del_labels[slot]:
+                del_labels[slot] = label
+                changed[0] = True
+            if label < home_published[slot]:
+                # Lazy synchronisation: disseminate immediately with an
+                # asynchronous broadcast from inside the callback.
+                home_published[slot] = label
+                sync_mb.post_bcast((slot, label))
+
+        def on_sync_bcast(msg) -> None:
+            slot, label = msg
+            if label < del_labels[slot]:
+                del_labels[slot] = label
+                changed[0] = True
+
+        label_mb = ctx.mailbox(recv_batch=on_label, capacity=capacity)
+        sync_mb = ctx.mailbox(
+            recv=on_sync, recv_bcast=on_sync_bcast, capacity=capacity
+        )
+
+        passes = 0
+        while True:
+            passes += 1
+            if passes > max_passes:
+                raise RuntimeError(f"CC did not converge in {max_passes} passes")
+            changed[0] = False
+            del_before = del_labels.copy()
+
+            # 1. Plain edges: ship my labels to neighbour owners.
+            for lo in range(0, len(nd_src), batch_size):
+                hi = lo + batch_size
+                dst = nd_dst[lo:hi]
+                batch = CC_SPEC.build(
+                    vertex=dst.astype("u8"),
+                    label=labels[nd_src_local[lo:hi]].astype("u8"),
+                )
+                yield from label_mb.send_batch(part.owner_vec(dst), batch, spec=CC_SPEC)
+
+            # 2. Colocated delegate edges: both directions, locally.
+            if len(mx_src):
+                yield ctx.compute(len(mx_src) * handle_cost)
+                np.minimum.at(del_labels, mx_dst_slot, labels[mx_src_local])
+                before = labels[mx_src_local]
+                np.minimum.at(labels, mx_src_local, del_labels[mx_dst_slot])
+                if (labels[mx_src_local] != before).any():
+                    changed[0] = True
+
+            # 3. Delegate-delegate edges: purely replicated state.
+            if len(dd_u_slot):
+                yield ctx.compute(len(dd_u_slot) * handle_cost)
+                np.minimum.at(del_labels, dd_u_slot, del_labels[dd_v_slot])
+                np.minimum.at(del_labels, dd_v_slot, del_labels[dd_u_slot])
+
+            yield from label_mb.wait_empty()
+
+            # 4. Delegate synchronisation through the homes.
+            if delegates.count:
+                improved = np.flatnonzero(del_labels < del_before)
+                for slot in improved.tolist():
+                    home = part.owner(int(delegates.vertices[slot]))
+                    if home == rank:
+                        # Our own improvement: publish if news.
+                        if del_labels[slot] < home_published[slot]:
+                            home_published[slot] = int(del_labels[slot])
+                            sync_mb.post_bcast((slot, int(del_labels[slot])))
+                    else:
+                        yield from sync_mb.send(home, (slot, int(del_labels[slot])))
+                if (del_labels != del_before).any():
+                    changed[0] = True
+                yield from sync_mb.wait_empty()
+
+            # 5. Global convergence check.
+            any_changed = yield from ctx.comm.allreduce(bool(changed[0]), lambda a, b: a or b)
+            if not any_changed:
+                break
+
+        # Owned delegate vertices take their replicated labels.
+        if delegates.count:
+            owned = delegates.vertices[is_home]
+            labels[part.local_id_vec(owned)] = del_labels[is_home]
+        return CCResult(
+            labels=labels,
+            passes=passes,
+            delegate_count=delegates.count,
+            bcasts=sync_mb.stats.bcasts_initiated,
+        )
+
+    return rank_main
+
+
+def gather_global_labels(values: List[CCResult], num_vertices: int, nranks: int) -> np.ndarray:
+    """Reassemble the global label array from per-rank results."""
+    part = CyclicPartition(num_vertices, nranks)
+    out = np.zeros(num_vertices, dtype=np.int64)
+    for rank, res in enumerate(values):
+        out[part.local_vertices(rank)] = res.labels
+    return out

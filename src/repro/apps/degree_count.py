@@ -1,0 +1,105 @@
+"""Degree counting (paper Algorithm 1, Section V-A).
+
+Streams the edges of a graph and counts the degree of every vertex.
+Vertices are assigned to ranks round-robin; every edge spawns exactly two
+messages, each of which is a single increment at the destination.  Edges
+are generated and counted in batches, isolating counting time from
+generation time, exactly as in the paper's experiments.
+
+Two implementations are provided:
+
+* :func:`make_degree_counting` -- the production version using the
+  vectorized ``send_batch`` fast path (fixed-width vertex records),
+* :func:`make_degree_counting_scalar` -- a line-by-line transcription of
+  Algorithm 1 using scalar sends (used in the docs and as a correctness
+  cross-check; much slower to simulate).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generator, Optional
+
+import numpy as np
+
+from ..core.context import YgmContext
+from ..graph.generators import EdgeStream
+from ..graph.partition import CyclicPartition
+from ..serde import RecordSpec
+
+#: The single-field message of Algorithm 1: a vertex id to increment.
+DEGREE_SPEC = RecordSpec("degree", [("vertex", "u8")])
+
+
+def make_degree_counting(
+    stream: EdgeStream,
+    batch_size: int = 4096,
+    capacity: Optional[int] = None,
+) -> Callable[[YgmContext], Generator]:
+    """Build the degree-counting rank program for ``stream``.
+
+    Each rank generates its share of the edge stream, sends both endpoint
+    vertices to their owners, and waits for global quiescence.  Returns
+    the rank's local degree array (indexed by local id).
+    """
+
+    def rank_main(ctx: YgmContext) -> Generator:
+        part = CyclicPartition(stream.num_vertices, ctx.nranks)
+        degrees = np.zeros(part.local_count(ctx.rank), dtype=np.int64)
+        nlocal = len(degrees)
+
+        def on_batch(batch: np.ndarray) -> None:
+            ids = part.local_id_vec(batch["vertex"].astype(np.int64))
+            degrees[:] += np.bincount(ids, minlength=nlocal)
+
+        mb = ctx.mailbox(recv_batch=on_batch, capacity=capacity)
+        gen_cost = ctx.machine.config.compute.per_edge_gen
+        for u, v in stream.batches(ctx.rank, batch_size):
+            # Charge edge generation (isolated from counting in the paper;
+            # we charge it so computation/communication overlap is real).
+            yield ctx.compute(len(u) * gen_cost)
+            verts = np.concatenate((u, v))
+            dests = part.owner_vec(verts)
+            batch = DEGREE_SPEC.build(vertex=verts.astype("u8"))
+            yield from mb.send_batch(dests, batch, spec=DEGREE_SPEC)
+        yield from mb.wait_empty()
+        return degrees
+
+    return rank_main
+
+
+def make_degree_counting_scalar(
+    stream: EdgeStream,
+    batch_size: int = 1024,
+    capacity: Optional[int] = None,
+) -> Callable[[YgmContext], Generator]:
+    """Algorithm 1 verbatim: one scalar ``Send`` per edge endpoint."""
+
+    def rank_main(ctx: YgmContext) -> Generator:
+        num_ranks = ctx.nranks
+        part = CyclicPartition(stream.num_vertices, num_ranks)
+        degrees = np.zeros(part.local_count(ctx.rank), dtype=np.int64)
+
+        def recv_func(v: int) -> None:  # Algorithm 1 lines 4-6
+            local_id = v // num_ranks
+            degrees[local_id] += 1
+
+        mb = ctx.mailbox(recv=recv_func, capacity=capacity)  # line 7
+        gen_cost = ctx.machine.config.compute.per_edge_gen
+        for u_arr, v_arr in stream.batches(ctx.rank, batch_size):
+            yield ctx.compute(len(u_arr) * gen_cost)
+            for u, v in zip(u_arr.tolist(), v_arr.tolist()):  # lines 8-12
+                yield from mb.send(u % num_ranks, u, nbytes=8)
+                yield from mb.send(v % num_ranks, v, nbytes=8)
+        yield from mb.wait_empty()  # line 13
+        return degrees
+
+    return rank_main
+
+
+def gather_global_degrees(values, num_vertices: int, nranks: int) -> np.ndarray:
+    """Reassemble the global degree array from per-rank results."""
+    part = CyclicPartition(num_vertices, nranks)
+    out = np.zeros(num_vertices, dtype=np.int64)
+    for rank, local in enumerate(values):
+        out[part.local_vertices(rank)] = local
+    return out

@@ -1,0 +1,151 @@
+"""Asynchronous single-source shortest paths (weighted).
+
+The second Graph500 kernel the paper's introduction cites ("The Graph500
+uses breadth-first search (BFS) and single source shortest path (SSSP) to
+benchmark the graph processing capabilities of computer systems").  Like
+:mod:`repro.apps.bfs` this is the asynchronous label-correcting
+formulation (HavoqGT-style): a relaxation that improves a vertex's
+tentative distance immediately posts relaxations for its neighbours from
+inside the receive callback.  Monotone decrease guarantees convergence to
+Dijkstra distances; redundant relaxations are the price of asynchrony.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generator, List, Optional
+
+import numpy as np
+
+from ..core.context import YgmContext
+from ..graph.generators import EdgeStream
+from ..graph.partition import CyclicPartition
+from ..serde import RecordSpec
+
+#: Distance update: ``dist(vertex) = min(dist(vertex), dist)``.
+SSSP_SPEC = RecordSpec("sssp", [("vertex", "u8"), ("dist", "f8")])
+#: Weighted-edge distribution record.
+WADJ_SPEC = RecordSpec("sssp_adj", [("src", "u8"), ("dst", "u8"), ("w", "f8")])
+
+#: "Unreached" distance.
+INF = np.inf
+
+
+def edge_weights(u: np.ndarray, v: np.ndarray, seed: int) -> np.ndarray:
+    """Deterministic per-edge weights in (0, 1], Graph500-style: derived
+    from the endpoints so every rank computes identical weights."""
+    mix = (u.astype(np.uint64) * np.uint64(0x9E3779B97F4A7C15)) ^ (
+        v.astype(np.uint64) * np.uint64(0xC2B2AE3D27D4EB4F)
+    ) ^ np.uint64(seed)
+    mix ^= mix >> np.uint64(33)
+    mix *= np.uint64(0xFF51AFD7ED558CCD)
+    mix ^= mix >> np.uint64(33)
+    return (mix.astype(np.float64) / float(2**64)) + 2**-53
+
+
+def make_sssp(
+    stream: EdgeStream,
+    source: int,
+    batch_size: int = 8192,
+    capacity: Optional[int] = None,
+    weight_seed: int = 0,
+) -> Callable[[YgmContext], Generator]:
+    """Build the async-SSSP rank program; returns per-rank distances."""
+    if not 0 <= source < stream.num_vertices:
+        raise ValueError(f"source {source} out of range")
+
+    def rank_main(ctx: YgmContext) -> Generator:
+        nranks, rank = ctx.nranks, ctx.rank
+        part = CyclicPartition(stream.num_vertices, nranks)
+
+        # ------------------------------- phase A: weighted adjacency
+        src_parts: List[np.ndarray] = []
+        dst_parts: List[np.ndarray] = []
+        w_parts: List[np.ndarray] = []
+
+        def on_adj(batch: np.ndarray) -> None:
+            src_parts.append(batch["src"].astype(np.int64))
+            dst_parts.append(batch["dst"].astype(np.int64))
+            w_parts.append(batch["w"].astype(np.float64))
+
+        adj_mb = ctx.mailbox(recv_batch=on_adj, capacity=capacity)
+        gen_cost = ctx.machine.config.compute.per_edge_gen
+        for u, v in stream.batches(ctx.rank, batch_size):
+            yield ctx.compute(len(u) * gen_cost)
+            w = edge_weights(u, v, weight_seed)
+            src = np.concatenate((u, v))
+            dst = np.concatenate((v, u))
+            ww = np.concatenate((w, w))
+            yield from adj_mb.send_batch(
+                part.owner_vec(src),
+                WADJ_SPEC.build(src=src.astype("u8"), dst=dst.astype("u8"), w=ww),
+                spec=WADJ_SPEC,
+            )
+        yield from adj_mb.wait_empty()
+
+        if src_parts:
+            a_src = np.concatenate(src_parts)
+            a_dst = np.concatenate(dst_parts)
+            a_w = np.concatenate(w_parts)
+        else:
+            a_src = a_dst = np.empty(0, dtype=np.int64)
+            a_w = np.empty(0, dtype=np.float64)
+        local_src = part.local_id_vec(a_src)
+        nlocal = part.local_count(rank)
+        order = np.argsort(local_src, kind="stable")
+        sorted_src = local_src[order]
+        sorted_dst = a_dst[order]
+        sorted_w = a_w[order]
+        indptr = np.searchsorted(sorted_src, np.arange(nlocal + 1))
+
+        # ------------------------------- phase B: async relaxation
+        dist = np.full(nlocal, INF, dtype=np.float64)
+
+        def relax(batch: np.ndarray) -> None:
+            ids = part.local_id_vec(batch["vertex"].astype(np.int64))
+            new = batch["dist"]
+            improved_mask = new < dist[ids]  # strict: no re-expansion loops
+            if not improved_mask.any():
+                return
+            ids = ids[improved_mask]
+            np.minimum.at(dist, ids, new[improved_mask])
+            _expand(np.unique(ids))
+
+        def _expand(local_ids: np.ndarray) -> None:
+            counts = indptr[local_ids + 1] - indptr[local_ids]
+            total = int(counts.sum())
+            if total == 0:
+                return
+            neigh = np.empty(total, dtype=np.int64)
+            dvals = np.empty(total, dtype=np.float64)
+            pos = 0
+            for lid, cnt in zip(local_ids.tolist(), counts.tolist()):
+                if cnt == 0:
+                    continue
+                lo = indptr[lid]
+                neigh[pos : pos + cnt] = sorted_dst[lo : lo + cnt]
+                dvals[pos : pos + cnt] = dist[lid] + sorted_w[lo : lo + cnt]
+                pos += cnt
+            mb.post_batch(
+                part.owner_vec(neigh),
+                SSSP_SPEC.build(vertex=neigh.astype("u8"), dist=dvals),
+                spec=SSSP_SPEC,
+            )
+
+        mb = ctx.mailbox(recv_batch=relax, capacity=capacity)
+        if part.owner(source) == rank:
+            lid = part.local_id(source)
+            dist[lid] = 0.0
+            _expand(np.array([lid], dtype=np.int64))
+        yield from mb.wait_empty()
+        return dist
+
+    return rank_main
+
+
+def gather_global_sssp(values, num_vertices: int, nranks: int) -> np.ndarray:
+    """Reassemble the global distance vector from per-rank results."""
+    part = CyclicPartition(num_vertices, nranks)
+    out = np.full(num_vertices, INF, dtype=np.float64)
+    for rank, local in enumerate(values):
+        out[part.local_vertices(rank)] = local
+    return out

@@ -1,0 +1,22 @@
+"""Comparison baselines: CombBLAS-style 2D SpMV and BSP ALLTOALLV."""
+
+from .bsp_alltoall import bsp_exchange, make_bsp_degree_counting
+from .combblas2d import (
+    Combblas2DProblem,
+    CombblasRankResult,
+    choose_grid,
+    gather_combblas_y,
+    make_combblas_spmv,
+    partition_combblas_problem,
+)
+
+__all__ = [
+    "Combblas2DProblem",
+    "CombblasRankResult",
+    "bsp_exchange",
+    "choose_grid",
+    "gather_combblas_y",
+    "make_bsp_degree_counting",
+    "make_combblas_spmv",
+    "partition_combblas_problem",
+]

@@ -1,0 +1,78 @@
+"""Bulk-synchronous baseline: superstep exchanges via ALLTOALLV.
+
+This is the strawman of the paper's introduction: computation proceeds in
+supersteps, each ending with a synchronous collective exchange, so the
+whole job moves at the speed of its slowest rank.  The module provides a
+generic exchange helper plus a BSP degree-counting program used by the
+imbalance ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generator, List, Optional
+
+import numpy as np
+
+from ..graph.generators import EdgeStream
+from ..graph.partition import CyclicPartition
+from ..mpi import RankContext
+
+
+def bsp_exchange(comm, per_dest: List[np.ndarray]) -> Generator:
+    """One superstep exchange: ``per_dest[r]`` goes to rank ``r``.
+
+    Returns the list of arrays received (by source).  A thin wrapper
+    around ``alltoallv`` kept for symmetry with the mailbox API.
+    """
+    received = yield from comm.alltoallv(per_dest)
+    return received
+
+
+def make_bsp_degree_counting(
+    stream: EdgeStream,
+    batch_size: int = 4096,
+    compute_skew: Optional[Callable[[int, int], float]] = None,
+) -> Callable[[RankContext], Generator]:
+    """Degree counting in BSP style: generate a batch, ALLTOALLV, count.
+
+    ``compute_skew(rank, superstep)`` optionally returns extra seconds of
+    per-superstep computation, used by the imbalance ablation to model a
+    straggler; under BSP everyone waits for it at every exchange.
+    """
+
+    def rank_main(ctx: RankContext) -> Generator:
+        nranks = ctx.comm.size
+        part = CyclicPartition(stream.num_vertices, nranks)
+        degrees = np.zeros(part.local_count(ctx.comm.rank), dtype=np.int64)
+        gen_cost = ctx.machine.config.compute.per_edge_gen
+
+        # All ranks must execute the same number of supersteps: the
+        # global maximum batch count (collective schedule, BSP-style).
+        my_steps = -(-stream.edges_per_rank // batch_size)
+        steps = yield from ctx.comm.allreduce(my_steps, max)
+
+        batches = stream.batches(ctx.comm.rank, batch_size)
+        for step in range(steps):
+            try:
+                u, v = next(batches)
+            except StopIteration:
+                u = v = np.empty(0, dtype=np.int64)
+            yield ctx.compute(len(u) * gen_cost)
+            if compute_skew is not None:
+                extra = compute_skew(ctx.comm.rank, step)
+                if extra > 0:
+                    yield ctx.compute(extra)
+            verts = np.concatenate((u, v))
+            owners = part.owner_vec(verts)
+            order = np.argsort(owners, kind="stable")
+            verts, owners = verts[order], owners[order]
+            bounds = np.searchsorted(owners, np.arange(nranks + 1))
+            per_dest = [verts[bounds[r] : bounds[r + 1]] for r in range(nranks)]
+            received = yield from bsp_exchange(ctx.comm, per_dest)
+            for arr in received:
+                if len(arr):
+                    ids = part.local_id_vec(arr)
+                    degrees[:] += np.bincount(ids, minlength=len(degrees))
+        return degrees
+
+    return rank_main

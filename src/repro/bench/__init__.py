@@ -1,0 +1,9 @@
+"""The per-figure experiment harness (see DESIGN.md section 3).
+
+Usage: ``python -m repro.bench --fig 6a`` or the ``repro-bench`` script.
+"""
+
+from .harness import SweepConfig, efficiency, run_mpi, run_ygm, schemes_for
+from .report import Table
+
+__all__ = ["SweepConfig", "Table", "efficiency", "run_mpi", "run_ygm", "schemes_for"]

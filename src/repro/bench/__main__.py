@@ -1,0 +1,7 @@
+"""Entry point: ``python -m repro.bench --fig 6a``."""
+
+import sys
+
+from .cli import main
+
+sys.exit(main())

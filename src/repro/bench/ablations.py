@@ -1,0 +1,270 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+These go beyond the paper's figures and probe *why* the results look the
+way they do:
+
+* mailbox-capacity sweep -- coalescing effectiveness vs memory (explains
+  the Fig 8d requirement that mailbox size scale with N),
+* cores-per-node sweep -- the Section III-E "lateral distance grows with
+  C" argument,
+* eager-threshold sweep -- sensitivity to the protocol switch,
+* NLNR vs hybrid NLNR -- the Section VII MPI+threads projection,
+* straggler imbalance -- YGM's pseudo-asynchrony vs the BSP baseline
+  (the introduction's motivating scenario).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..apps import make_degree_counting
+from ..baselines import make_bsp_degree_counting
+from ..graph import er_stream
+from .harness import SweepConfig, run_mpi, run_ygm
+from .report import Table
+
+
+def run_capacity_sweep(
+    nodes: int = 8,
+    cores: int = 4,
+    capacities: Sequence[int] = (2**6, 2**8, 2**10, 2**12, 2**14),
+    edges_per_rank: int = 2**12,
+    scheme: str = "node_remote",
+    seed: int = 0,
+) -> Table:
+    """Mailbox capacity vs runtime: small mailboxes flush tiny packets.
+
+    The application feeds the mailbox in small increments (batch 32) so
+    that the mailbox *capacity* -- not the application batch size --
+    governs the flush granularity, as with the paper's per-message sends.
+    """
+    sweep = SweepConfig(cores_per_node=cores, node_counts=(nodes,), mailbox_capacity=0)
+    table = Table(
+        title=f"Ablation: mailbox capacity sweep ({scheme}, N={nodes}, C={cores})",
+        columns=["capacity", "seconds", "avg_remote_pkt_B", "flushes"],
+    )
+    stream = er_stream(
+        num_vertices=1024 * nodes * cores, edges_per_rank=edges_per_rank, seed=seed
+    )
+    for cap in capacities:
+        res = run_ygm(
+            make_degree_counting(stream, batch_size=32),
+            sweep.machine(nodes),
+            scheme,
+            cap,
+            seed=seed,
+        )
+        table.add(
+            capacity=cap,
+            seconds=res.elapsed,
+            avg_remote_pkt_B=res.mailbox_stats.avg_remote_packet_bytes,
+            flushes=res.mailbox_stats.flushes,
+        )
+    table.note("larger mailboxes -> bigger packets -> less per-packet overhead")
+    return table
+
+
+def run_cores_sweep(
+    nodes: int = 16,
+    cores_options: Sequence[int] = (2, 4, 8),
+    edges_per_rank: int = 2**12,
+    capacity: int = 2**12,
+    seed: int = 0,
+) -> Table:
+    """Section III-E: the NLNR advantage over NodeRemote grows with C."""
+    table = Table(
+        title=f"Ablation: cores-per-node sweep (N={nodes})",
+        columns=["cores", "scheme", "seconds", "avg_remote_pkt_B"],
+    )
+    for cores in cores_options:
+        sweep = SweepConfig(
+            cores_per_node=cores, node_counts=(nodes,), mailbox_capacity=capacity
+        )
+        stream = er_stream(
+            num_vertices=1024 * nodes * cores, edges_per_rank=edges_per_rank, seed=seed
+        )
+        for scheme in ("node_remote", "nlnr"):
+            res = run_ygm(
+                make_degree_counting(stream, batch_size=2**12),
+                sweep.machine(nodes),
+                scheme,
+                capacity,
+                seed=seed,
+            )
+            table.add(
+                cores=cores,
+                scheme=scheme,
+                seconds=res.elapsed,
+                avg_remote_pkt_B=res.mailbox_stats.avg_remote_packet_bytes,
+            )
+    table.note("NLNR's avg packet is C x NodeRemote's: the gap widens with C")
+    return table
+
+
+def run_eager_threshold_sweep(
+    thresholds: Sequence[int] = (2**12, 2**14, 2**16, 2**18),
+    nodes: int = 8,
+    cores: int = 4,
+    capacity: int = 2**12,
+    edges_per_rank: int = 2**12,
+    seed: int = 0,
+) -> Table:
+    """Where the protocol switch sits changes which scheme's packets ride
+    the fast path."""
+    table = Table(
+        title=f"Ablation: eager/rendezvous threshold sweep (N={nodes}, C={cores})",
+        columns=["threshold", "scheme", "seconds"],
+    )
+    stream = er_stream(
+        num_vertices=1024 * nodes * cores, edges_per_rank=edges_per_rank, seed=seed
+    )
+    for threshold in thresholds:
+        for scheme in ("node_remote", "nlnr"):
+            sweep = SweepConfig(
+                cores_per_node=cores, node_counts=(nodes,), mailbox_capacity=capacity
+            )
+            machine = sweep.machine(nodes, eager_threshold=threshold)
+            res = run_ygm(
+                make_degree_counting(stream, batch_size=2**12),
+                machine,
+                scheme,
+                capacity,
+                seed=seed,
+            )
+            table.add(threshold=threshold, scheme=scheme, seconds=res.elapsed)
+    return table
+
+
+def run_hybrid_comparison(
+    nodes: int = 8,
+    cores: int = 8,
+    capacity: int = 2**12,
+    edges_per_rank: int = 2**12,
+    seed: int = 0,
+) -> Table:
+    """Section VII: hybrid MPI+threads NLNR removes on-node copy costs."""
+    table = Table(
+        title=f"Ablation: NLNR vs hybrid (free local hops), N={nodes}, C={cores}",
+        columns=["scheme", "seconds", "local_bytes", "remote_bytes"],
+    )
+    sweep = SweepConfig(
+        cores_per_node=cores, node_counts=(nodes,), mailbox_capacity=capacity
+    )
+    stream = er_stream(
+        num_vertices=1024 * nodes * cores, edges_per_rank=edges_per_rank, seed=seed
+    )
+    for scheme in ("node_local", "node_remote", "nlnr", "nlnr_hybrid"):
+        res = run_ygm(
+            make_degree_counting(stream, batch_size=2**12),
+            sweep.machine(nodes),
+            scheme,
+            capacity,
+            seed=seed,
+        )
+        table.add(
+            scheme=scheme,
+            seconds=res.elapsed,
+            local_bytes=res.mailbox_stats.local_bytes_sent,
+            remote_bytes=res.mailbox_stats.remote_bytes_sent,
+        )
+    return table
+
+
+def run_straggler_comparison(
+    nodes: int = 4,
+    cores: int = 4,
+    edges_per_rank: int = 2**12,
+    capacity: int = 2**10,
+    straggler_delay: float = 5e-4,
+    seed: int = 0,
+) -> Table:
+    """The motivating scenario: one slow rank.
+
+    Under BSP every rank idles at every superstep waiting for the
+    straggler, so nobody's *own work* completes before the straggler
+    does.  Under YGM the other ranks finish queueing and flushing their
+    own messages early -- their cores are free for other computation and
+    they merely remain available as routing intermediaries inside
+    ``wait_empty`` ("cores participating ... can enter the protocol when
+    ready", Abstract).  We therefore report, besides the makespan, the
+    mean time at which *non-straggler* ranks finished their own work
+    (their last send, before the global drain).
+    """
+    table = Table(
+        title=f"Ablation: straggler imbalance, BSP vs YGM "
+        f"(N={nodes}, C={cores}, straggler +{straggler_delay}s/batch)",
+        columns=["impl", "makespan", "avg_work_done_others"],
+    )
+    stream = er_stream(
+        num_vertices=1024 * nodes * cores, edges_per_rank=edges_per_rank, seed=seed
+    )
+    sweep = SweepConfig(
+        cores_per_node=cores, node_counts=(nodes,), mailbox_capacity=capacity
+    )
+    batch = 2**10
+
+    def skew(rank: int, step: int) -> float:
+        return straggler_delay if rank == 0 else 0.0
+
+    # BSP: the exchange is inside every superstep, so a rank's own work
+    # is not done until the last superstep completes -- its finish time.
+    res_bsp = run_mpi(
+        make_bsp_degree_counting(stream, batch_size=batch, compute_skew=skew),
+        sweep.machine(nodes),
+        seed=seed,
+    )
+    table.add(
+        impl="bsp_alltoallv",
+        makespan=res_bsp.elapsed,
+        avg_work_done_others=float(np.mean(res_bsp.finish_times[1:])),
+    )
+
+    def make_ygm_app(work_done):
+        # The degree-count loop is inlined (rather than reusing
+        # make_degree_counting) so the straggler's per-batch delay can be
+        # interposed and the own-work completion time recorded.
+        def ygm_app(ctx):
+            from repro.graph.partition import CyclicPartition
+            from repro.apps.degree_count import DEGREE_SPEC
+
+            part = CyclicPartition(stream.num_vertices, ctx.nranks)
+            degrees = np.zeros(part.local_count(ctx.rank), dtype=np.int64)
+
+            def on_batch(b):
+                ids = part.local_id_vec(b["vertex"].astype(np.int64))
+                degrees[:] += np.bincount(ids, minlength=len(degrees))
+
+            mb = ctx.mailbox(recv_batch=on_batch, capacity=capacity)
+            for u, v in stream.batches(ctx.rank, batch):
+                yield ctx.compute(len(u) * ctx.machine.config.compute.per_edge_gen)
+                yield ctx.compute(skew(ctx.rank, 0))
+                verts = np.concatenate((u, v))
+                yield from mb.send_batch(
+                    part.owner_vec(verts),
+                    DEGREE_SPEC.build(vertex=verts.astype("u8")),
+                    spec=DEGREE_SPEC,
+                )
+            yield from mb.flush()
+            work_done[ctx.rank] = ctx.sim.now  # own work complete here
+            yield from mb.wait_empty()
+            return degrees
+
+        return ygm_app
+
+    for scheme in ("node_remote", "nlnr"):
+        work_done = np.zeros(nodes * cores)
+        res = run_ygm(
+            make_ygm_app(work_done), sweep.machine(nodes), scheme, capacity, seed=seed
+        )
+        table.add(
+            impl=f"ygm/{scheme}",
+            makespan=res.elapsed,
+            avg_work_done_others=float(np.mean(work_done[1:])),
+        )
+    table.note(
+        "avg_work_done_others: mean time non-straggler ranks finished their "
+        "own sends; BSP couples it to the straggler, YGM does not"
+    )
+    return table

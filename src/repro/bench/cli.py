@@ -1,0 +1,104 @@
+"""Command-line figure harness: ``python -m repro.bench --fig 6a``.
+
+Regenerates any of the paper's figures (as text tables) or the ablation
+studies.  ``--full`` uses the larger sweep (more nodes, 8 cores/node);
+the default quick sweep finishes each figure in seconds to a couple of
+minutes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List
+
+from .harness import SweepConfig
+
+FIGS = ["5", "6a", "6b", "7a", "7b", "8a", "8c", "8d"]
+ABLATIONS = ["capacity", "cores", "eager", "hybrid", "straggler"]
+
+
+def run_figure(fig: str, sweep: SweepConfig, quick: bool):
+    from . import ablations, fig5, fig6, fig7, fig8
+
+    if fig == "5":
+        return [fig5.run(quick=quick)]
+    if fig == "6a":
+        return [fig6.run_weak(sweep)]
+    if fig == "6b":
+        return [fig6.run_strong(sweep)]
+    if fig == "7a":
+        return [fig7.run_weak(sweep)]
+    if fig == "7b":
+        return [fig7.run_strong(sweep)]
+    if fig == "8a" or fig == "8b":
+        return [fig8.run_weak(sweep, skewed=True)]
+    if fig == "8c":
+        return [fig8.run_weak(sweep, skewed=False)]
+    if fig == "8d":
+        return [fig8.run_strong_webgraph(sweep)]
+    if fig == "capacity":
+        return [ablations.run_capacity_sweep()]
+    if fig == "cores":
+        return [ablations.run_cores_sweep()]
+    if fig == "eager":
+        return [ablations.run_eager_threshold_sweep()]
+    if fig == "hybrid":
+        return [ablations.run_hybrid_comparison()]
+    if fig == "straggler":
+        return [ablations.run_straggler_comparison()]
+    raise ValueError(f"unknown figure {fig!r}")
+
+
+def main(argv: List[str] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-bench",
+        description="Regenerate the paper's figures on the simulated machine.",
+    )
+    parser.add_argument(
+        "--fig",
+        action="append",
+        dest="figs",
+        choices=FIGS + ["8b"] + ABLATIONS + ["all", "ablations"],
+        help="figure id (repeatable); 'all' runs every paper figure, "
+        "'ablations' every ablation",
+    )
+    parser.add_argument(
+        "--full", action="store_true", help="larger sweep (slower, cleaner asymptotics)"
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    figs = args.figs or ["all"]
+    expanded: List[str] = []
+    for f in figs:
+        if f == "all":
+            expanded.extend(FIGS)
+        elif f == "ablations":
+            expanded.extend(ABLATIONS)
+        else:
+            expanded.append(f)
+
+    sweep = SweepConfig.full() if args.full else SweepConfig.quick()
+    if args.seed != sweep.seed:
+        sweep = SweepConfig(
+            cores_per_node=sweep.cores_per_node,
+            node_counts=sweep.node_counts,
+            mailbox_capacity=sweep.mailbox_capacity,
+            seed=args.seed,
+        )
+
+    for fig in expanded:
+        start = time.perf_counter()
+        tables = run_figure(fig, sweep, quick=not args.full)
+        wall = time.perf_counter() - start
+        for table in tables:
+            print(table.render())
+            print(f"# harness wall-clock: {wall:.1f}s")
+            print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,105 @@
+"""Fig 6: degree-counting scaling under the four routing schemes.
+
+Paper setup (scaled down -- see DESIGN.md):
+
+* weak scaling (6a): 2^28 vertices and 2^32 edges **per node**, mailbox
+  2^18.  We keep per-node work fixed (``edges_per_rank`` constant) and
+  sweep node counts.
+* strong scaling (6b): 2^32 vertices, 2^37 edges total.
+* edges sampled uniformly (Erdős–Rényi) -- balanced communication, no
+  broadcasts needed.
+
+Expected shape: NoRoute falls over past a few nodes; NodeLocal and
+NodeRemote track each other (uniform traffic) and beat NLNR at small N
+(extra local hop); NLNR scales furthest.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..apps import make_degree_counting
+from ..graph import er_stream
+from .harness import SweepConfig, efficiency, run_ygm, schemes_for
+from .report import Table
+
+
+def run_weak(
+    sweep: Optional[SweepConfig] = None,
+    edges_per_rank: int = 2**12,
+    verts_per_rank: int = 2**10,
+    batch_size: int = 2**12,
+) -> Table:
+    sweep = sweep or SweepConfig.quick()
+    table = Table(
+        title="Fig 6a: degree counting, weak scaling "
+        f"({edges_per_rank} edges/rank, {verts_per_rank} vertices/rank, "
+        f"C={sweep.cores_per_node}, mailbox {sweep.mailbox_capacity})",
+        columns=["nodes", "scheme", "seconds", "efficiency", "avg_remote_pkt_B"],
+    )
+    base: dict = {}
+    for nodes in sweep.node_counts:
+        nranks = nodes * sweep.cores_per_node
+        stream = er_stream(
+            num_vertices=verts_per_rank * nranks,
+            edges_per_rank=edges_per_rank,
+            seed=sweep.seed,
+        )
+        for scheme in schemes_for(nodes, sweep.cores_per_node):
+            res = run_ygm(
+                make_degree_counting(stream, batch_size=batch_size),
+                sweep.machine(nodes),
+                scheme,
+                sweep.mailbox_capacity,
+                seed=sweep.seed,
+            )
+            base.setdefault(scheme, (res.elapsed, nodes))
+            b_el, b_n = base[scheme]
+            table.add(
+                nodes=nodes,
+                scheme=scheme,
+                seconds=res.elapsed,
+                efficiency=efficiency(b_el, b_n, res.elapsed, nodes, weak=True),
+                avg_remote_pkt_B=res.mailbox_stats.avg_remote_packet_bytes,
+            )
+    return table
+
+
+def run_strong(
+    sweep: Optional[SweepConfig] = None,
+    total_edges: int = 2**17,
+    total_verts: int = 2**14,
+    batch_size: int = 2**12,
+) -> Table:
+    sweep = sweep or SweepConfig.quick()
+    table = Table(
+        title="Fig 6b: degree counting, strong scaling "
+        f"({total_edges} edges, {total_verts} vertices total, "
+        f"C={sweep.cores_per_node}, mailbox {sweep.mailbox_capacity})",
+        columns=["nodes", "scheme", "seconds", "efficiency"],
+    )
+    base: dict = {}
+    for nodes in sweep.node_counts:
+        nranks = nodes * sweep.cores_per_node
+        stream = er_stream(
+            num_vertices=total_verts,
+            edges_per_rank=max(1, total_edges // nranks),
+            seed=sweep.seed,
+        )
+        for scheme in schemes_for(nodes, sweep.cores_per_node):
+            res = run_ygm(
+                make_degree_counting(stream, batch_size=batch_size),
+                sweep.machine(nodes),
+                scheme,
+                sweep.mailbox_capacity,
+                seed=sweep.seed,
+            )
+            base.setdefault(scheme, (res.elapsed, nodes))
+            b_el, b_n = base[scheme]
+            table.add(
+                nodes=nodes,
+                scheme=scheme,
+                seconds=res.elapsed,
+                efficiency=efficiency(b_el, b_n, res.elapsed, nodes, weak=False),
+            )
+    return table

@@ -1,0 +1,62 @@
+"""Plain-text table rendering for the figure harness."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+
+@dataclass
+class Table:
+    """A printable experiment result: header, rows, free-form notes."""
+
+    title: str
+    columns: List[str]
+    rows: List[Dict[str, Any]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add(self, **row: Any) -> None:
+        self.rows.append(row)
+
+    def note(self, text: str) -> None:
+        self.notes.append(text)
+
+    def render(self) -> str:
+        def fmt(value: Any) -> str:
+            if value is None:
+                return "-"
+            if isinstance(value, float):
+                if value == 0:
+                    return "0"
+                if abs(value) >= 1000 or abs(value) < 1e-3:
+                    return f"{value:.3e}"
+                return f"{value:.4g}"
+            return str(value)
+
+        cells = [[fmt(row.get(c)) for c in self.columns] for row in self.rows]
+        widths = [
+            max(len(col), *(len(r[i]) for r in cells)) if cells else len(col)
+            for i, col in enumerate(self.columns)
+        ]
+        lines = [f"== {self.title} =="]
+        lines.append("  ".join(c.ljust(w) for c, w in zip(self.columns, widths)))
+        lines.append("  ".join("-" * w for w in widths))
+        for row in cells:
+            lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+        for note in self.notes:
+            lines.append(f"# {note}")
+        return "\n".join(lines)
+
+    def print(self) -> None:
+        print(self.render())
+
+    def column(self, name: str) -> List[Any]:
+        return [row.get(name) for row in self.rows]
+
+    def series(self, key_col: str, val_col: str, **filters: Any) -> Dict[Any, Any]:
+        """Extract ``{key: value}`` from rows matching ``filters``."""
+        out = {}
+        for row in self.rows:
+            if all(row.get(k) == v for k, v in filters.items()):
+                out[row[key_col]] = row[val_col]
+        return out

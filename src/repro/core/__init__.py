@@ -1,0 +1,35 @@
+"""YGM core: mailboxes, routing schemes, coalescing, termination.
+
+This package is the reproduction of the paper's primary contribution
+(Sections III and IV).
+"""
+
+from .coalescing import ENTRY_HEADER_BYTES, BatchEntry, BcastEntry, CoalescingBuffer, P2PEntry
+from .config import MailboxConfig
+from .context import YgmContext, YgmResult, YgmWorld
+from .mailbox import Mailbox
+from .routing import PAPER_SCHEMES, SCHEMES, RoutingScheme, get_scheme
+from .stats import MailboxStats, aggregate
+from .termination import TerminationDetector, binomial_children, binomial_parent
+
+__all__ = [
+    "BatchEntry",
+    "BcastEntry",
+    "CoalescingBuffer",
+    "ENTRY_HEADER_BYTES",
+    "Mailbox",
+    "MailboxConfig",
+    "MailboxStats",
+    "P2PEntry",
+    "PAPER_SCHEMES",
+    "RoutingScheme",
+    "SCHEMES",
+    "TerminationDetector",
+    "YgmContext",
+    "YgmResult",
+    "YgmWorld",
+    "aggregate",
+    "binomial_children",
+    "binomial_parent",
+    "get_scheme",
+]

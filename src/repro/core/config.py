@@ -1,0 +1,25 @@
+"""Mailbox configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class MailboxConfig:
+    """Tunables of a YGM mailbox.
+
+    ``capacity`` is the message capacity of the paper's mailbox: once this
+    many messages are queued across all coalescing buffers, the rank
+    enters its communication context (flush + receive).  The paper's
+    experiments use 2^18; the scaled benchmarks default to 2^14.
+    """
+
+    capacity: int = 2**14
+
+    def __post_init__(self):
+        if self.capacity < 1:
+            raise ValueError(f"mailbox capacity must be >= 1, got {self.capacity}")
+
+    def with_overrides(self, **kwargs) -> "MailboxConfig":
+        return replace(self, **kwargs)

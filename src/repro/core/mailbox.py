@@ -1,0 +1,385 @@
+"""The YGM mailbox: the paper's central abstraction (Section IV).
+
+A :class:`Mailbox` is created with a receive callback and a message
+capacity.  User code queues messages with ``send`` / ``send_bcast`` (or
+the vectorized ``send_batch``); when the mailbox is full the rank enters
+its *communication context* -- it flushes all coalescing buffers along the
+routing scheme's next hops and processes every packet that has already
+arrived (delivering to the callback, forwarding intermediary traffic) --
+then drops back into computation, regardless of what other ranks are
+doing.  ``wait_empty`` runs the termination-detection protocol until all
+ranks are globally quiescent.
+
+Conventions:
+
+* methods that can block or take simulated time are generators -- drive
+  them with ``yield from`` inside the rank program;
+* receive callbacks are plain functions; to emit messages from inside a
+  callback use the nonblocking ``post`` / ``post_bcast`` (the surrounding
+  communication context flushes them).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Generator, List, Optional
+
+import numpy as np
+
+from ..mpi.envelope import HEADER_BYTES, Packet
+from ..mpi.sizes import payload_nbytes
+from ..serde import RecordSpec
+from .coalescing import BatchEntry, BcastEntry, CoalescingBuffer, P2PEntry
+from .config import MailboxConfig
+from .stats import MailboxStats
+from .termination import TerminationDetector
+
+
+class Mailbox:
+    """An asynchronous mailbox over a routing scheme.
+
+    Created through :meth:`repro.core.context.YgmContext.mailbox`; all
+    ranks must create their mailboxes in the same order (like MPI
+    communicator construction).
+    """
+
+    def __init__(
+        self,
+        ctx,  # YgmContext
+        recv: Optional[Callable[[Any], None]] = None,
+        recv_batch: Optional[Callable[[np.ndarray], None]] = None,
+        recv_bcast: Optional[Callable[[Any], None]] = None,
+        config: Optional[MailboxConfig] = None,
+        mailbox_id: int = 0,
+    ):
+        if recv is None and recv_batch is None and recv_bcast is None:
+            raise ValueError("a mailbox needs at least one receive callback")
+        self.ctx = ctx
+        self.comm = ctx.comm
+        self.rank = ctx.rank
+        self.scheme = ctx.scheme
+        self.config = config or MailboxConfig()
+        self.recv = recv
+        self.recv_batch = recv_batch
+        self.recv_bcast = recv_bcast if recv_bcast is not None else recv
+        self.stats = MailboxStats()
+
+        self._app_kind = ("ygm", mailbox_id, "app")
+        self._term_kind = ("ygm", mailbox_id, "term")
+        inbox = ctx.world.inboxes[ctx.world_rank]
+        self._app_store = inbox.subscribe(self.comm.ctx, self._app_kind)
+        self._term_store = inbox.subscribe(self.comm.ctx, self._term_kind)
+
+        self._buffers: Dict[int, CoalescingBuffer] = {}
+        self._queued = 0  # messages across all buffers
+        self._pending_handle_cost = 0.0
+        self._term = TerminationDetector(
+            rank=self.rank,
+            size=self.comm.size,
+            get_counts=lambda: (self.stats.entries_sent, self.stats.entries_received),
+            send=self._send_term,
+        )
+
+    # ------------------------------------------------------------------ sends
+    def post(self, dest: int, payload: Any, nbytes: Optional[int] = None) -> None:
+        """Queue a point-to-point message without entering communication.
+
+        Safe to call from receive callbacks.  Messages to self are
+        delivered immediately (they never touch the transport).
+        """
+        if not 0 <= dest < self.comm.size:
+            raise ValueError(f"destination {dest} out of range [0, {self.comm.size})")
+        self.stats.app_messages_sent += 1
+        if dest == self.rank:
+            self._deliver_p2p(payload)
+            return
+        size = payload_nbytes(payload, nbytes)
+        hop = self.scheme.next_hop(self.rank, dest)
+        self._buffer_for(hop).add(P2PEntry(dest, payload, size))
+        self._queued += 1
+
+    def send(self, dest: int, payload: Any, nbytes: Optional[int] = None) -> Generator:
+        """Queue a message; enter the communication context if full."""
+        self.post(dest, payload, nbytes=nbytes)
+        yield from self._maybe_communicate()
+
+    def post_bcast(self, payload: Any, nbytes: Optional[int] = None) -> None:
+        """Queue a broadcast to every other rank (callback-safe)."""
+        self.stats.bcasts_initiated += 1
+        size = payload_nbytes(payload, nbytes)
+        for target in self.scheme.bcast_targets(self.rank, self.rank):
+            self._buffer_for(target).add(BcastEntry(self.rank, payload, size))
+            self._queued += 1
+
+    def send_bcast(self, payload: Any, nbytes: Optional[int] = None) -> Generator:
+        """Broadcast to all other ranks (paper's SEND_BCAST)."""
+        self.post_bcast(payload, nbytes=nbytes)
+        yield from self._maybe_communicate()
+
+    def post_batch(self, dests: np.ndarray, batch: np.ndarray, spec: Optional[RecordSpec] = None) -> None:
+        """Queue a batch of fixed-width records, binned by next hop.
+
+        ``dests[i]`` is the destination rank of record ``batch[i]``.
+        This is the vectorized fast path (cf. mpi4py's buffer methods):
+        per-message Python overhead is eliminated and intermediaries
+        re-bin with NumPy.
+        """
+        if spec is not None:
+            spec.validate(batch)
+        dests = np.asarray(dests, dtype=np.int64)
+        if dests.shape != (len(batch),):
+            raise ValueError("dests and batch must be equal-length 1-D arrays")
+        if len(dests) == 0:
+            return
+        if dests.min() < 0 or dests.max() >= self.comm.size:
+            raise ValueError("destination rank out of range in batch")
+        self.stats.app_messages_sent += len(dests)
+        self._bin_batch(dests, batch, at_injection=True)
+
+    def send_batch(self, dests: np.ndarray, batch: np.ndarray, spec: Optional[RecordSpec] = None) -> Generator:
+        """Vectorized send; may enter the communication context."""
+        self.post_batch(dests, batch, spec=spec)
+        yield from self._maybe_communicate()
+
+    # -------------------------------------------------------------- internals
+    def _buffer_for(self, hop: int) -> CoalescingBuffer:
+        buf = self._buffers.get(hop)
+        if buf is None:
+            buf = CoalescingBuffer(hop)
+            self._buffers[hop] = buf
+        return buf
+
+    def _bin_batch(self, dests: np.ndarray, batch: np.ndarray, at_injection: bool) -> None:
+        """Deliver self-addressed records, bin the rest by next hop."""
+        here = dests == self.rank
+        if here.any():
+            self._deliver_batch(batch[here])
+            dests = dests[~here]
+            batch = batch[~here]
+            if len(dests) == 0:
+                return
+        hops = self.scheme.next_hop_vec(self.rank, dests)
+        order = np.argsort(hops, kind="stable")
+        hops_sorted = hops[order]
+        dests_sorted = dests[order]
+        batch_sorted = batch[order]
+        boundaries = np.flatnonzero(np.diff(hops_sorted)) + 1
+        starts = np.concatenate(([0], boundaries))
+        ends = np.concatenate((boundaries, [len(hops_sorted)]))
+        for s, e in zip(starts, ends):
+            hop = int(hops_sorted[s])
+            entry = BatchEntry(dests_sorted[s:e], batch_sorted[s:e])
+            self._buffer_for(hop).add(entry)
+            self._queued += entry.count
+
+    def _maybe_communicate(self) -> Generator:
+        if self._queued >= self.config.capacity:
+            yield from self.flush()
+            yield from self.progress()
+
+    # --------------------------------------------------------------- flushing
+    @property
+    def queued(self) -> int:
+        """Messages currently buffered (not yet flushed)."""
+        return self._queued
+
+    @property
+    def has_incoming(self) -> bool:
+        return len(self._app_store) > 0
+
+    def flush(self) -> Generator:
+        """Send every nonempty coalescing buffer along its next hop."""
+        if self._queued == 0:
+            return
+        self.stats.flushes += 1
+        compute = self.ctx.machine.config.compute
+        # Per-message packing cost, charged in bulk.
+        pack_cost = self._queued * compute.per_message_queue
+        if pack_cost > 0:
+            yield self.ctx.sim.timeout(pack_cost)
+        # Deterministic hop order.
+        for hop in sorted(self._buffers):
+            buf = self._buffers[hop]
+            if not buf:
+                continue
+            entries, nbytes, count = buf.take()
+            self._queued -= count
+            yield from self._send_packet(hop, entries, nbytes, count)
+
+    def _send_packet(self, hop: int, entries: List[Any], nbytes: int, count: int) -> Generator:
+        self.stats.entries_sent += count
+        local = self.ctx.machine.same_node(self.ctx.world_rank, self.comm.world_rank_of(hop))
+        if local:
+            self.stats.local_packets_sent += 1
+            self.stats.local_bytes_sent += nbytes
+        else:
+            self.stats.remote_packets_sent += 1
+            self.stats.remote_bytes_sent += nbytes
+        if local and self.scheme.free_local_hops:
+            # Hybrid MPI+threads model (Section VII): on-node hand-off is a
+            # pointer exchange -- no copy cost, immediate delivery.
+            dst_w = self.comm.world_rank_of(hop)
+            pkt = Packet(
+                src=self.ctx.world_rank, dst=dst_w, ctx=self.comm.ctx,
+                kind=self._app_kind, tag=0, payload=entries,
+                nbytes=nbytes + HEADER_BYTES,
+            )
+            self.ctx.world.inboxes[dst_w].deliver(pkt)
+            return
+        yield from self.comm.send(
+            hop, entries, tag=0, nbytes=nbytes, kind=self._app_kind
+        )
+
+    # -------------------------------------------------------------- receiving
+    def progress(self) -> Generator:
+        """Process all already-arrived packets; returns packets handled.
+
+        Forwarded (intermediary) traffic generated while processing is
+        flushed before returning, so a rank sitting in its communication
+        context keeps the routes moving.
+        """
+        handled = 0
+        while True:
+            pkt = self._app_store.try_get()
+            if pkt is None:
+                break
+            yield from self._handle_packet(pkt)
+            handled += 1
+        self._drain_term()
+        if handled and self._queued:
+            # Forwarding may have enqueued follow-on packets.
+            yield from self.flush()
+        yield from self._charge_pending_handles()
+        return handled
+
+    def _handle_packet(self, pkt: Packet) -> Generator:
+        compute = self.ctx.machine.config.compute
+        for entry in pkt.payload:
+            kind = entry.kind
+            if kind == "p2p":
+                self.stats.entries_received += 1
+                if entry.dest == self.rank:
+                    self._deliver_p2p(entry.payload)
+                else:
+                    self.stats.entries_forwarded += 1
+                    hop = self.scheme.next_hop(self.rank, entry.dest)
+                    self._buffer_for(hop).add(entry)
+                    self._queued += 1
+            elif kind == "batch":
+                n = entry.count
+                self.stats.entries_received += n
+                before = self.stats.app_messages_delivered
+                self._bin_batch(entry.dests, entry.batch, at_injection=False)
+                delivered = self.stats.app_messages_delivered - before
+                self.stats.entries_forwarded += n - delivered
+            elif kind == "bcast":
+                self.stats.entries_received += 1
+                self._deliver_bcast(entry.payload)
+                for target in self.scheme.bcast_targets(self.rank, entry.origin):
+                    self._buffer_for(target).add(
+                        BcastEntry(entry.origin, entry.payload, entry.nbytes)
+                    )
+                    self._queued += 1
+                    self.stats.entries_forwarded += 1
+            else:  # pragma: no cover - defensive
+                raise TypeError(f"unknown entry kind {kind!r}")
+        yield from self._charge_pending_handles()
+
+    def _deliver_p2p(self, payload: Any) -> None:
+        self.stats.app_messages_delivered += 1
+        self._pending_handle_cost += self.ctx.machine.config.compute.per_message_handle
+        if self.recv is None:
+            raise RuntimeError("mailbox has no scalar receive callback")
+        self.recv(payload)
+
+    def _deliver_batch(self, batch: np.ndarray) -> None:
+        n = len(batch)
+        if n == 0:
+            return
+        self.stats.app_messages_delivered += n
+        self._pending_handle_cost += (
+            n * self.ctx.machine.config.compute.per_message_handle
+        )
+        if self.recv_batch is not None:
+            self.recv_batch(batch)
+        elif self.recv is not None:
+            for item in batch:
+                self.recv(item)
+        else:
+            raise RuntimeError("mailbox has no batch receive callback")
+
+    def _deliver_bcast(self, payload: Any) -> None:
+        self.stats.bcast_deliveries += 1
+        self._pending_handle_cost += self.ctx.machine.config.compute.per_message_handle
+        if self.recv_bcast is None:
+            raise RuntimeError("mailbox has no broadcast receive callback")
+        self.recv_bcast(payload)
+
+    def _charge_pending_handles(self) -> Generator:
+        if self._pending_handle_cost > 0:
+            cost, self._pending_handle_cost = self._pending_handle_cost, 0.0
+            yield self.ctx.sim.timeout(cost)
+
+    # ------------------------------------------------------------ termination
+    def _send_term(self, dest: int, payload, tag) -> Generator:
+        yield from self.comm.send(dest, payload, tag=tag, kind=self._term_kind)
+
+    def _drain_term(self) -> None:
+        while True:
+            pkt = self._term_store.try_get()
+            if pkt is None:
+                return
+            self._term.on_packet(pkt.tag, pkt.payload)
+
+    def wait_empty(self) -> Generator:
+        """Block until global quiescence (paper's WAIT_EMPTY).
+
+        Flushes everything, keeps processing and forwarding application
+        traffic, and participates in termination-detection rounds until
+        the protocol declares the whole job quiescent.
+        """
+        if self._term.done:
+            self._term.reset()
+        while True:
+            yield from self.flush()
+            handled = yield from self.progress()
+            if handled or self._queued:
+                continue
+            self._drain_term()
+            progressed = yield from self._term.advance()
+            if self._term.done:
+                self.stats.term_rounds = self._term.rounds_completed
+                return
+            if progressed:
+                continue
+            yield from self._wait_any_traffic()
+
+    def test_empty(self) -> Generator:
+        """Nonblocking completion poll (paper's TEST_EMPTY).
+
+        Flushes, processes available traffic, advances the termination
+        protocol as far as possible without waiting, and returns whether
+        global quiescence has been detected.
+        """
+        yield from self.flush()
+        yield from self.progress()
+        self._drain_term()
+        yield from self._term.advance()
+        if self._term.done:
+            self.stats.term_rounds = self._term.rounds_completed
+        return self._term.done
+
+    def _wait_any_traffic(self) -> Generator:
+        get_app = self._app_store.get()
+        get_term = self._term_store.get()
+        blocked_at = self.ctx.sim.now
+        yield self.ctx.sim.any_of([get_app, get_term])
+        self.stats.idle_time += self.ctx.sim.now - blocked_at
+        if get_app.triggered:
+            yield from self._handle_packet(get_app.value)
+        else:
+            get_app.cancel()
+        if get_term.triggered:
+            pkt = get_term.value
+            self._term.on_packet(pkt.tag, pkt.payload)
+        else:
+            get_term.cancel()

@@ -1,0 +1,43 @@
+"""YGM routing schemes (paper Section III) and their registry."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Type
+
+from .base import RoutingScheme
+from .nlnr import NLNR, HybridNLNR
+from .node_local import NodeLocal
+from .node_remote import NodeRemote
+from .noroute import NoRoute
+
+#: All built-in schemes by registry name.
+SCHEMES: Dict[str, Type[RoutingScheme]] = {
+    cls.name: cls for cls in (NoRoute, NodeLocal, NodeRemote, NLNR, HybridNLNR)
+}
+
+#: The four schemes evaluated in the paper's figures, in figure order.
+PAPER_SCHEMES: List[str] = ["noroute", "node_local", "node_remote", "nlnr"]
+
+
+def get_scheme(name: str, nodes: int, cores_per_node: int) -> RoutingScheme:
+    """Instantiate a routing scheme by name for an N x C machine."""
+    try:
+        cls = SCHEMES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown routing scheme {name!r}; available: {sorted(SCHEMES)}"
+        ) from None
+    return cls(nodes, cores_per_node)
+
+
+__all__ = [
+    "HybridNLNR",
+    "NLNR",
+    "NoRoute",
+    "NodeLocal",
+    "NodeRemote",
+    "PAPER_SCHEMES",
+    "RoutingScheme",
+    "SCHEMES",
+    "get_scheme",
+]

@@ -1,0 +1,105 @@
+"""The routing-scheme interface (paper Section III).
+
+A routing scheme decides, for a message currently held by rank ``cur``
+with final destination ``dest``, which rank it should be forwarded to
+next (``next_hop``), and for broadcasts, the fan-out a holder performs
+(``bcast_targets``).  Schemes also expose their channel structure for the
+bandwidth analysis of Section III-E.
+
+All schemes are pure functions of the machine shape ``(N nodes, C cores)``
+-- the paper's point versus NAPSpMV is precisely that the routing depends
+only on topology, not on the application (Section II).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import List
+
+import numpy as np
+
+from ...machine import address
+
+
+class RoutingScheme(ABC):
+    """Base class for YGM message-routing schemes."""
+
+    #: Registry name (e.g. ``"nlnr"``).
+    name: str = "base"
+    #: Whether local hops are free (models the hybrid MPI+threads YGM of
+    #: Section VII, where on-node copies are eliminated).
+    free_local_hops: bool = False
+
+    def __init__(self, nodes: int, cores_per_node: int):
+        address.validate_shape(nodes, cores_per_node)
+        self.nodes = nodes
+        self.cores = cores_per_node
+        self.nranks = nodes * cores_per_node
+
+    # -- shape helpers (hot path: inline arithmetic, no Addr objects) --------
+    def _node(self, rank: int) -> int:
+        return rank // self.cores
+
+    def _core(self, rank: int) -> int:
+        return rank % self.cores
+
+    def _rank(self, node: int, core: int) -> int:
+        return node * self.cores + core
+
+    # -- point-to-point routing ------------------------------------------------
+    @abstractmethod
+    def next_hop(self, cur: int, dest: int) -> int:
+        """The rank ``cur`` forwards a ``dest``-bound message to.
+
+        Returns ``dest`` itself on the final hop.  ``cur == dest`` is a
+        caller error (deliver instead of routing).
+        """
+
+    def next_hop_vec(self, cur: int, dests: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`next_hop` for a destination array.
+
+        Default implementation loops; concrete schemes override with
+        NumPy arithmetic (this is on the fast path of ``send_batch``).
+        """
+        return np.fromiter(
+            (self.next_hop(cur, int(d)) for d in dests),
+            dtype=np.int64,
+            count=len(dests),
+        )
+
+    @abstractmethod
+    def max_hops(self) -> int:
+        """Upper bound on transmissions per point-to-point message."""
+
+    # -- broadcast routing ---------------------------------------------------
+    @abstractmethod
+    def bcast_targets(self, cur: int, origin: int) -> List[int]:
+        """Ranks that ``cur`` forwards a broadcast from ``origin`` to.
+
+        Called once at the origin (``cur == origin``) when the broadcast
+        is injected, and once at every rank that receives a copy.  The
+        union of the induced forwarding tree must reach every rank except
+        ``origin`` exactly once.
+        """
+
+    # -- channel structure (Section III-E analysis) ------------------------------
+    @abstractmethod
+    def remote_partners(self, rank: int) -> List[int]:
+        """Ranks that ``rank`` may exchange *remote* packets with."""
+
+    def remote_partner_count(self, rank: int) -> int:
+        return len(self.remote_partners(rank))
+
+    @abstractmethod
+    def channel_count(self) -> int:
+        """Number of remote communication channels (Section III-E)."""
+
+    def expected_avg_message_fraction(self) -> float:
+        """Of a rank's total send volume V (uniform traffic), the average
+        fraction per remote partner -- the paper's O(V/NC), O(V/N),
+        O(VC/N) analysis.  Returns 1/partner_count for a generic rank."""
+        count = max(1, self.remote_partner_count(0))
+        return 1.0 / count
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<{type(self).__name__} N={self.nodes} C={self.cores}>"

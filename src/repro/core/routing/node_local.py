@@ -1,0 +1,68 @@
+"""The Node Local routing scheme (paper Section III-B).
+
+A message from ``(n, c)`` to ``(n', c')`` is first forwarded *locally* to
+``(n, c')`` -- the on-node core matching the destination's core offset --
+and then *remotely* to ``(n', c')`` along the remote channel of core
+offset ``c'``.  All messages destined for a particular remote process are
+thus accumulated at a single intermediary per node before remote
+transmission.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from .base import RoutingScheme
+
+
+class NodeLocal(RoutingScheme):
+    """Local exchange first, then C per-core-offset remote exchanges."""
+
+    name = "node_local"
+
+    def next_hop(self, cur: int, dest: int) -> int:
+        cores = self.cores
+        if cur % cores != dest % cores:
+            # Local hop to the on-node core with the destination's offset.
+            return (cur // cores) * cores + dest % cores
+        return dest  # core offsets match: remote (or final local) hop
+
+    def next_hop_vec(self, cur: int, dests: np.ndarray) -> np.ndarray:
+        dests = np.asarray(dests, dtype=np.int64)
+        cores = self.cores
+        cur_node = cur // cores
+        dcore = dests % cores
+        local_hop = cur_node * cores + dcore
+        return np.where(dcore != cur % cores, local_hop, dests)
+
+    def max_hops(self) -> int:
+        return 2
+
+    def bcast_targets(self, cur: int, origin: int) -> List[int]:
+        cores = self.cores
+        if cur // cores != origin // cores:
+            return []  # remote recipients only deliver
+        targets: List[int] = []
+        if cur == origin:
+            # Fan out to every other core on the origin node.
+            base = (origin // cores) * cores
+            targets.extend(base + c for c in range(cores) if base + c != origin)
+        # Every origin-node holder (origin included) fans out over its own
+        # per-core-offset remote channel: C * (N - 1) remote messages total.
+        my_core = cur % cores
+        origin_node = origin // cores
+        targets.extend(
+            self._rank(n, my_core) for n in range(self.nodes) if n != origin_node
+        )
+        return targets
+
+    def remote_partners(self, rank: int) -> List[int]:
+        core = self._core(rank)
+        node = self._node(rank)
+        return [self._rank(n, core) for n in range(self.nodes) if n != node]
+
+    def channel_count(self) -> int:
+        # One channel per core offset, each containing the N matching cores.
+        return self.cores

@@ -1,0 +1,43 @@
+"""The NoRoute baseline: every message goes directly to its destination.
+
+This is the paper's comparison baseline ("NoRoute" in Figs 6-8).  With
+uniform traffic each core talks to all ``(N-1)C`` remote cores, so the
+average remote message size is O(V / NC) -- the worst coalescing of all
+schemes (Section III-E).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from .base import RoutingScheme
+
+
+class NoRoute(RoutingScheme):
+    """Direct delivery; coalescing only at the core-core level."""
+
+    name = "noroute"
+
+    def next_hop(self, cur: int, dest: int) -> int:
+        return dest
+
+    def next_hop_vec(self, cur: int, dests: np.ndarray) -> np.ndarray:
+        return np.asarray(dests, dtype=np.int64)
+
+    def max_hops(self) -> int:
+        return 1
+
+    def bcast_targets(self, cur: int, origin: int) -> List[int]:
+        if cur != origin:
+            return []
+        return [r for r in range(self.nranks) if r != origin]
+
+    def remote_partners(self, rank: int) -> List[int]:
+        node = self._node(rank)
+        return [r for r in range(self.nranks) if self._node(r) != node]
+
+    def channel_count(self) -> int:
+        # One global channel: any core may talk to any remote core.
+        return 1

@@ -1,0 +1,44 @@
+"""Graph substrate: generators, partitioning, delegates, distributed CSC."""
+
+from .csc import LocalCSC, build_local_csc, global_matrix_from_edges
+from .delegates import (
+    DelegateSet,
+    build_delegates,
+    degrees_from_edges,
+    find_delegates,
+    rmat_expected_max_degree,
+    scaled_delegate_threshold,
+)
+from .generators import (
+    EdgeStream,
+    GRAPH500_PARAMS,
+    UNIFORM_PARAMS,
+    erdos_renyi_edges,
+    er_stream,
+    permute_vertices,
+    rmat_edges,
+    rmat_stream,
+)
+from .partition import BlockPartition, CyclicPartition
+
+__all__ = [
+    "BlockPartition",
+    "CyclicPartition",
+    "DelegateSet",
+    "EdgeStream",
+    "GRAPH500_PARAMS",
+    "LocalCSC",
+    "UNIFORM_PARAMS",
+    "build_delegates",
+    "build_local_csc",
+    "degrees_from_edges",
+    "er_stream",
+    "erdos_renyi_edges",
+    "find_delegates",
+    "global_matrix_from_edges",
+    "permute_vertices",
+    "rmat_edges",
+    "rmat_expected_max_degree",
+    "rmat_stream",
+    "scaled_delegate_threshold",
+]

@@ -1,0 +1,92 @@
+"""Distributed compressed-sparse-column matrices (paper Section V-C).
+
+The YGM SpMV stores the matrix in CSC with a 1D cyclic partitioning of
+columns across ranks; this module builds each rank's local CSC slice from
+a global edge/triple list and provides the local column iteration the
+SpMV kernel needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+from .partition import CyclicPartition
+
+
+@dataclass
+class LocalCSC:
+    """One rank's slice of a column-partitioned sparse matrix.
+
+    ``mat`` has shape ``(n, local_cols)``; local column ``j`` is global
+    column ``partition.global_id(rank, j)``.
+    """
+
+    rank: int
+    partition: CyclicPartition
+    mat: sp.csc_matrix
+
+    @property
+    def n(self) -> int:
+        return self.partition.num_vertices
+
+    @property
+    def local_cols(self) -> int:
+        return self.mat.shape[1]
+
+    @property
+    def nnz(self) -> int:
+        return self.mat.nnz
+
+    def column(self, local_j: int) -> Tuple[np.ndarray, np.ndarray]:
+        """(row indices, values) of local column ``local_j``."""
+        start, end = self.mat.indptr[local_j], self.mat.indptr[local_j + 1]
+        return self.mat.indices[start:end], self.mat.data[start:end]
+
+    def triples(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """All local nonzeros as (rows, global_cols, values)."""
+        coo = self.mat.tocoo()
+        gcols = self.partition.global_id_vec(self.rank, coo.col.astype(np.int64))
+        return coo.row.astype(np.int64), gcols, coo.data
+
+
+def build_local_csc(
+    rank: int,
+    nranks: int,
+    n: int,
+    rows: np.ndarray,
+    cols: np.ndarray,
+    vals: Optional[np.ndarray] = None,
+) -> LocalCSC:
+    """Build rank ``rank``'s column slice from global COO triples.
+
+    Only the triples whose column is owned by ``rank`` are kept (callers
+    typically pass the full list in tests and pre-filtered lists in
+    distributed settings); duplicate entries are summed, like
+    ``scipy.sparse`` and CombBLAS.
+    """
+    part = CyclicPartition(n, nranks)
+    if vals is None:
+        vals = np.ones(len(rows), dtype=np.float64)
+    mine = part.owner_vec(cols) == rank
+    local_cols = part.local_id_vec(cols[mine])
+    ncols_local = part.local_count(rank)
+    mat = sp.coo_matrix(
+        (vals[mine], (rows[mine], local_cols)), shape=(n, ncols_local)
+    ).tocsc()
+    mat.sum_duplicates()
+    return LocalCSC(rank=rank, partition=part, mat=mat)
+
+
+def global_matrix_from_edges(
+    n: int, rows: np.ndarray, cols: np.ndarray, vals: Optional[np.ndarray] = None
+) -> sp.csr_matrix:
+    """The full matrix (verification helper for tests/benches)."""
+    if vals is None:
+        vals = np.ones(len(rows), dtype=np.float64)
+    mat = sp.coo_matrix((vals, (rows, cols)), shape=(n, n)).tocsr()
+    mat.sum_duplicates()
+    return mat

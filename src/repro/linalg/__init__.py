@@ -1,0 +1,19 @@
+"""Distributed linear-algebra substrate: the YGM SpMV with delegates."""
+
+from .spmv import (
+    SPMV_SPEC,
+    SpmvProblem,
+    SpmvRankResult,
+    gather_global_y,
+    make_spmv,
+    partition_spmv_problem,
+)
+
+__all__ = [
+    "SPMV_SPEC",
+    "SpmvProblem",
+    "SpmvRankResult",
+    "gather_global_y",
+    "make_spmv",
+    "partition_spmv_problem",
+]

@@ -1,0 +1,30 @@
+"""The simulated distributed machine: addressing, network model, NICs.
+
+This package stands in for the paper's physical platform (LLNL *Quartz*).
+See DESIGN.md section 1 for the substitution rationale.
+"""
+
+from .address import Addr, addr_of, core_of, layer_of, node_of, rank_of, same_node
+from .netmodel import GiB, KiB, MiB, ComputeModel, NetworkModel
+from .presets import bench_machine, quartz_like, small
+from .topology import Machine, MachineConfig
+
+__all__ = [
+    "Addr",
+    "ComputeModel",
+    "GiB",
+    "KiB",
+    "Machine",
+    "MachineConfig",
+    "MiB",
+    "NetworkModel",
+    "addr_of",
+    "bench_machine",
+    "core_of",
+    "layer_of",
+    "node_of",
+    "quartz_like",
+    "rank_of",
+    "same_node",
+    "small",
+]

@@ -1,0 +1,57 @@
+"""Rank addressing: the paper's ``(node, core)`` tuples.
+
+The paper (Section III) addresses a core ``c`` on node ``n`` by the tuple
+``(n, c) in [N] x [C]``.  We use 0-based offsets and the canonical
+node-major linearisation ``rank = n * C + c``, matching how MPI ranks are
+typically laid out with one rank per core and block placement per node.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple, Tuple
+
+
+class Addr(NamedTuple):
+    """A core address: node offset and core offset (both 0-based)."""
+
+    node: int
+    core: int
+
+
+def rank_of(node: int, core: int, cores_per_node: int) -> int:
+    """Linear rank of core ``core`` on node ``node``."""
+    return node * cores_per_node + core
+
+
+def addr_of(rank: int, cores_per_node: int) -> Addr:
+    """Inverse of :func:`rank_of`."""
+    return Addr(rank // cores_per_node, rank % cores_per_node)
+
+
+def node_of(rank: int, cores_per_node: int) -> int:
+    """Node offset of ``rank``."""
+    return rank // cores_per_node
+
+
+def core_of(rank: int, cores_per_node: int) -> int:
+    """Core offset of ``rank`` within its node."""
+    return rank % cores_per_node
+
+
+def same_node(a: int, b: int, cores_per_node: int) -> bool:
+    """Whether two ranks are *local* to each other (paper Section III)."""
+    return a // cores_per_node == b // cores_per_node
+
+
+def layer_of(node: int, cores_per_node: int) -> int:
+    """The NLNR *layer offset* of a node: ``n mod C`` (Section III-D)."""
+    return node % cores_per_node
+
+
+def validate_shape(nodes: int, cores_per_node: int) -> Tuple[int, int]:
+    """Validate and return ``(nodes, cores_per_node)``."""
+    if nodes < 1:
+        raise ValueError(f"need at least 1 node, got {nodes}")
+    if cores_per_node < 1:
+        raise ValueError(f"need at least 1 core per node, got {cores_per_node}")
+    return nodes, cores_per_node

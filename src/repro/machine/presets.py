@@ -1,0 +1,47 @@
+"""Ready-made machine configurations.
+
+``quartz_like`` mirrors the evaluation platform of the paper (LLNL
+*Quartz*: 36 cores/node, Omni-Path, MVAPICH 2.3 with a 16 KiB eager
+threshold).  The smaller presets are what the test-suite and the scaled
+benchmark sweeps use; they keep the same *network model* and shrink only
+the core count so simulations stay fast.
+"""
+
+from __future__ import annotations
+
+from .netmodel import ComputeModel, NetworkModel
+from .topology import MachineConfig
+
+#: The calibrated Omni-Path-like network model (Fig 5 shape).
+QUARTZ_NET = NetworkModel()
+
+#: Default application compute-cost model.
+DEFAULT_COMPUTE = ComputeModel()
+
+
+def quartz_like(nodes: int, cores_per_node: int = 36, **net_overrides) -> MachineConfig:
+    """A Quartz-like machine: 36 cores/node, Omni-Path-like network."""
+    net = QUARTZ_NET.with_overrides(**net_overrides) if net_overrides else QUARTZ_NET
+    return MachineConfig(
+        nodes=nodes, cores_per_node=cores_per_node, net=net, compute=DEFAULT_COMPUTE
+    )
+
+
+def bench_machine(nodes: int, cores_per_node: int = 8, **net_overrides) -> MachineConfig:
+    """The scaled-down benchmark machine (8 cores/node by default).
+
+    Same network model as :func:`quartz_like`; only the node width is
+    reduced so that rank counts stay tractable for the DES.
+    """
+    net = QUARTZ_NET.with_overrides(**net_overrides) if net_overrides else QUARTZ_NET
+    return MachineConfig(
+        nodes=nodes, cores_per_node=cores_per_node, net=net, compute=DEFAULT_COMPUTE
+    )
+
+
+def small(nodes: int = 2, cores_per_node: int = 2, **net_overrides) -> MachineConfig:
+    """A tiny machine for unit tests."""
+    net = QUARTZ_NET.with_overrides(**net_overrides) if net_overrides else QUARTZ_NET
+    return MachineConfig(
+        nodes=nodes, cores_per_node=cores_per_node, net=net, compute=DEFAULT_COMPUTE
+    )

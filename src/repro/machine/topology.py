@@ -1,0 +1,183 @@
+"""The simulated machine: N nodes x C cores, NICs, and packet transport.
+
+:class:`Machine` owns the DES-level hardware resources and implements the
+two transport paths of the paper's cost analysis:
+
+* :meth:`transmit_remote` -- over the wire, serialized through the source
+  and destination node NIC resources (one TX and one RX engine per node),
+* :meth:`transmit_local` -- through shared memory, charged to the sending
+  core only.
+
+Delivery is a callback (``deliver(packet)``) supplied by the transport
+layer above (the simulated MPI matching engine), so the machine layer
+knows nothing about ranks' inboxes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Generator, List
+
+from ..sim import Resource, Simulator
+from . import address
+from .netmodel import ComputeModel, NetworkModel
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """Shape and timing of the simulated machine."""
+
+    nodes: int
+    cores_per_node: int
+    net: NetworkModel
+    compute: ComputeModel
+
+    def __post_init__(self):
+        address.validate_shape(self.nodes, self.cores_per_node)
+
+    @property
+    def nranks(self) -> int:
+        return self.nodes * self.cores_per_node
+
+
+class Machine:
+    """Hardware resources + packet transport for one simulated machine."""
+
+    def __init__(self, sim: Simulator, config: MachineConfig):
+        self.sim = sim
+        self.config = config
+        n = config.nodes
+        #: Per-node transmit NIC engines (serialize outbound remote packets).
+        self.nic_tx: List[Resource] = [
+            Resource(sim, name=f"nic_tx[{i}]") for i in range(n)
+        ]
+        #: Per-node receive NIC engines (serialize inbound remote packets;
+        #: this is where hot-spot receivers queue up).
+        self.nic_rx: List[Resource] = [
+            Resource(sim, name=f"nic_rx[{i}]") for i in range(n)
+        ]
+        # -- transport statistics (whole machine) --
+        self.remote_packets = 0
+        self.remote_bytes = 0
+        self.local_packets = 0
+        self.local_bytes = 0
+
+    # -- shape helpers -----------------------------------------------------
+    @property
+    def nranks(self) -> int:
+        return self.config.nranks
+
+    @property
+    def nodes(self) -> int:
+        return self.config.nodes
+
+    @property
+    def cores_per_node(self) -> int:
+        return self.config.cores_per_node
+
+    def node_of(self, rank: int) -> int:
+        return address.node_of(rank, self.config.cores_per_node)
+
+    def core_of(self, rank: int) -> int:
+        return address.core_of(rank, self.config.cores_per_node)
+
+    def addr_of(self, rank: int) -> address.Addr:
+        return address.addr_of(rank, self.config.cores_per_node)
+
+    def rank_of(self, node: int, core: int) -> int:
+        return address.rank_of(node, core, self.config.cores_per_node)
+
+    def same_node(self, a: int, b: int) -> bool:
+        return address.same_node(a, b, self.config.cores_per_node)
+
+    # -- transport ---------------------------------------------------------
+    def transmit_local(
+        self,
+        src: int,
+        dst: int,
+        nbytes: int,
+        packet: Any,
+        deliver: Callable[[Any], None],
+    ) -> Generator:
+        """Send a packet through shared memory (same node).
+
+        Generator run inside the *sending* rank's process: the shared
+        memory copy is charged to the sending core (the paper's MPI-only
+        YGM performs explicit on-node copies, Section VII).
+        """
+        net = self.config.net
+        self.local_packets += 1
+        self.local_bytes += nbytes
+        cost = net.local_time(nbytes)
+        if cost > 0:
+            yield self.sim.timeout(cost)
+        deliver(packet)
+
+    def transmit_remote(
+        self,
+        src: int,
+        dst: int,
+        nbytes: int,
+        packet: Any,
+        deliver: Callable[[Any], None],
+    ) -> Generator:
+        """Send a packet over the wire (different nodes).
+
+        Generator run inside the *sending* rank's process.  It charges the
+        sender-core overhead and the source-NIC occupancy, then hands the
+        in-flight remainder (wire delay, destination-NIC occupancy,
+        delivery) to a detached process so the sender regains its core --
+        buffered-send semantics.
+        """
+        net = self.config.net
+        src_node = self.node_of(src)
+        dst_node = self.node_of(dst)
+        self.remote_packets += 1
+        self.remote_bytes += nbytes
+        if net.send_overhead > 0:
+            yield self.sim.timeout(net.send_overhead)
+        yield from self.nic_tx[src_node].timed(net.nic_time(nbytes))
+        self.sim.process(
+            self._in_flight(dst_node, nbytes, packet, deliver),
+            name=f"pkt:{src}->{dst}",
+        )
+
+    def _in_flight(
+        self,
+        dst_node: int,
+        nbytes: int,
+        packet: Any,
+        deliver: Callable[[Any], None],
+    ) -> Generator:
+        """Wire delay + destination NIC + delivery (detached process)."""
+        net = self.config.net
+        yield self.sim.timeout(net.remote_delay(nbytes))
+        yield from self.nic_rx[dst_node].timed(net.nic_time(nbytes))
+        if net.recv_overhead > 0:
+            yield self.sim.timeout(net.recv_overhead)
+        deliver(packet)
+
+    def transmit(
+        self,
+        src: int,
+        dst: int,
+        nbytes: int,
+        packet: Any,
+        deliver: Callable[[Any], None],
+    ) -> Generator:
+        """Dispatch to the local or remote path based on endpoints."""
+        if self.same_node(src, dst):
+            return self.transmit_local(src, dst, nbytes, packet, deliver)
+        return self.transmit_remote(src, dst, nbytes, packet, deliver)
+
+    # -- diagnostics ---------------------------------------------------------
+    def nic_utilisation(self) -> dict:
+        """Aggregate NIC busy time (seconds) for reporting."""
+        return {
+            "tx_busy": sum(r.busy_time for r in self.nic_tx),
+            "rx_busy": sum(r.busy_time for r in self.nic_rx),
+            "remote_packets": self.remote_packets,
+            "remote_bytes": self.remote_bytes,
+            "local_packets": self.local_packets,
+            "local_bytes": self.local_bytes,
+        }

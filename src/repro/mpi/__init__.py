@@ -1,0 +1,34 @@
+"""A simulated MPI layer over the discrete-event machine model.
+
+Provides point-to-point messaging with MPI-style matching, the classic
+synchronous collectives, and communicator management -- the substrate the
+paper's YGM is "bootstrapped" on top of (and the strawman it improves on).
+"""
+
+from .envelope import ANY_SOURCE, ANY_TAG, HEADER_BYTES, KIND_COLL, KIND_P2P, Message, Packet
+from .comm import Comm
+from .matching import Inbox, PostedRecv
+from .requests import RecvRequest, Request, SendRequest, waitall
+from .sizes import payload_nbytes
+from .world import RankContext, World, WorldResult
+
+__all__ = [
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "Comm",
+    "HEADER_BYTES",
+    "Inbox",
+    "KIND_COLL",
+    "KIND_P2P",
+    "Message",
+    "Packet",
+    "PostedRecv",
+    "RankContext",
+    "RecvRequest",
+    "Request",
+    "SendRequest",
+    "World",
+    "WorldResult",
+    "payload_nbytes",
+    "waitall",
+]

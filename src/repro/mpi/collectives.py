@@ -1,0 +1,174 @@
+"""Collective algorithms over simulated point-to-point messaging.
+
+These are classic implementations (binomial trees for rooted collectives,
+post-all-irecv for the vector exchange) -- deliberately *synchronous* in
+the MPI sense: every member must enter the call, and stragglers stall
+their tree neighbours.  That behaviour is exactly the problem statement of
+the paper's introduction, and the BSP baseline uses it as-is.
+
+All functions are generators; drive with ``yield from``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, Optional, Sequence
+
+from .envelope import KIND_COLL
+from .requests import waitall
+
+
+def _vrank(rank: int, root: int, size: int) -> int:
+    return (rank - root) % size
+
+
+def _wrank(vrank: int, root: int, size: int) -> int:
+    return (vrank + root) % size
+
+
+def bcast(comm, value: Any, root: int = 0) -> Generator:
+    """Binomial-tree broadcast; returns the root's value on every rank."""
+    tag = comm._next_coll_tag("bcast")
+    size = comm.size
+    if size == 1:
+        return value
+    rel = _vrank(comm.rank, root, size)
+    mask = 1
+    while mask < size and not (rel & mask):
+        mask <<= 1
+    if rel != 0:
+        parent = _wrank(rel - mask, root, size)
+        msg = yield from comm.recv(source=parent, tag=tag, kind=KIND_COLL)
+        value = msg.payload
+    # Forward to children: bits below our low set bit (or below size for root).
+    child_mask = mask >> 1 if rel != 0 else _highest_pow2_below(size)
+    while child_mask >= 1:
+        child_rel = rel + child_mask
+        if child_rel < size:
+            child = _wrank(child_rel, root, size)
+            yield from comm.send(child, value, tag=tag, kind=KIND_COLL)
+        child_mask >>= 1
+    return value
+
+
+def _highest_pow2_below(n: int) -> int:
+    p = 1
+    while p * 2 < n:
+        p *= 2
+    return p if n > 1 else 0
+
+
+def reduce(comm, value: Any, op: Callable[[Any, Any], Any], root: int = 0) -> Generator:
+    """Binomial-tree reduction; the result is returned at ``root`` only
+    (``None`` elsewhere).  ``op`` must be associative and commutative."""
+    tag = comm._next_coll_tag("reduce")
+    size = comm.size
+    if size == 1:
+        return value
+    rel = _vrank(comm.rank, root, size)
+    acc = value
+    mask = 1
+    while mask < size:
+        if rel & mask:
+            parent = _wrank(rel - mask, root, size)
+            yield from comm.send(parent, acc, tag=tag, kind=KIND_COLL)
+            return None
+        peer_rel = rel | mask
+        if peer_rel < size:
+            peer = _wrank(peer_rel, root, size)
+            msg = yield from comm.recv(source=peer, tag=tag, kind=KIND_COLL)
+            acc = op(acc, msg.payload)
+        mask <<= 1
+    return acc
+
+
+def allreduce(comm, value: Any, op: Callable[[Any, Any], Any]) -> Generator:
+    """Reduce to rank 0 followed by broadcast."""
+    acc = yield from reduce(comm, value, op, root=0)
+    result = yield from bcast(comm, acc, root=0)
+    return result
+
+
+def barrier(comm) -> Generator:
+    """Allreduce of nothing: completes only when every rank has entered."""
+    yield from allreduce(comm, None, lambda a, b: None)
+
+
+def gather(comm, value: Any, root: int = 0) -> Generator:
+    """Gather one value per rank to ``root`` (list ordered by rank)."""
+    tag = comm._next_coll_tag("gather")
+    if comm.rank != root:
+        yield from comm.send(root, value, tag=tag, kind=KIND_COLL)
+        return None
+    results: list = [None] * comm.size
+    results[root] = value
+    for _ in range(comm.size - 1):
+        msg = yield from comm.recv(tag=tag, kind=KIND_COLL)
+        results[msg.source] = msg.payload
+    return results
+
+
+def allgather(comm, value: Any) -> Generator:
+    """Gather to rank 0, then broadcast the full list."""
+    gathered = yield from gather(comm, value, root=0)
+    result = yield from bcast(comm, gathered, root=0)
+    return result
+
+
+def scatter(comm, values: Optional[Sequence[Any]], root: int = 0) -> Generator:
+    """Scatter one value per rank from ``root``."""
+    tag = comm._next_coll_tag("scatter")
+    if comm.rank == root:
+        if values is None or len(values) != comm.size:
+            raise ValueError("scatter root needs one value per rank")
+        for dest in range(comm.size):
+            if dest != root:
+                yield from comm.send(dest, values[dest], tag=tag, kind=KIND_COLL)
+        return values[root]
+    msg = yield from comm.recv(source=root, tag=tag, kind=KIND_COLL)
+    return msg.payload
+
+
+def alltoallv(comm, values: Sequence[Any]) -> Generator:
+    """Vector all-to-all: ``values[i]`` goes to rank ``i``.
+
+    Implemented as post-all-irecvs + isends + waitall, the dense
+    synchronous exchange the paper contrasts YGM against.  Every pair
+    exchanges a packet even when the payload is empty, like a true
+    ALLTOALLV (this is what makes it scale poorly -- by design).
+    """
+    if len(values) != comm.size:
+        raise ValueError(
+            f"alltoallv needs one payload per rank ({comm.size}), got {len(values)}"
+        )
+    tag = comm._next_coll_tag("a2av")
+    recv_reqs = [
+        comm.irecv(source=src, tag=tag, kind=KIND_COLL)
+        for src in range(comm.size)
+        if src != comm.rank
+    ]
+    send_reqs = [
+        comm.isend(dst, values[dst], tag=tag, kind=KIND_COLL)
+        for dst in range(comm.size)
+        if dst != comm.rank
+    ]
+    results: list = [None] * comm.size
+    results[comm.rank] = values[comm.rank]
+    msgs = yield from waitall(recv_reqs)
+    for msg in msgs:
+        results[msg.source] = msg.payload
+    yield from waitall(send_reqs)
+    return results
+
+
+def reduce_scatter(comm, values: Sequence[Any], op: Callable[[Any, Any], Any]) -> Generator:
+    """Element-wise reduce of per-rank value vectors, scattering result i
+    to rank i.  Implemented as reduce-to-root of the list + scatter."""
+    if len(values) != comm.size:
+        raise ValueError("reduce_scatter needs one value per rank")
+
+    def list_op(a, b):
+        return [op(x, y) for x, y in zip(a, b)]
+
+    reduced = yield from reduce(comm, list(values), list_op, root=0)
+    mine = yield from scatter(comm, reduced, root=0)
+    return mine

@@ -1,0 +1,246 @@
+"""The simulated MPI communicator.
+
+:class:`Comm` provides the subset of MPI that YGM and the baselines need:
+
+* blocking and nonblocking point-to-point (``send``/``recv``/``isend``/
+  ``irecv``) with tag and source matching,
+* collectives (``barrier``, ``bcast``, ``reduce``, ``allreduce``,
+  ``gather``, ``allgather``, ``scatter``, ``alltoallv``,
+  ``reduce_scatter``) implemented over p2p with binomial trees,
+* communicator ``split``/``dup`` with proper context isolation.
+
+All potentially blocking methods are *generators* and must be driven with
+``yield from`` inside a simulated process -- the same convention as the
+rest of the stack.
+
+Semantics notes (documented deviations from MPI):
+
+* sends are always *buffered*: they complete once the sender-side costs
+  (core overhead + source NIC occupancy) are paid, never blocking on the
+  receiver.  MPI's eager path behaves this way; rendezvous sends in real
+  MPI can block, which we model as added latency instead.
+* message ordering between a pair of ranks is preserved per traffic class
+  (the simulated network is FIFO per path by construction).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, Hashable, List, Optional, Sequence
+
+import numpy as np
+
+from ..sim import Event
+from .envelope import ANY_SOURCE, ANY_TAG, HEADER_BYTES, KIND_P2P, Message, Packet
+from .requests import RecvRequest, SendRequest, waitall
+from .sizes import payload_nbytes
+
+
+class Comm:
+    """A communicator over a subset of the world's ranks.
+
+    Parameters
+    ----------
+    world:
+        The owning :class:`~repro.mpi.world.World`.
+    ctx:
+        Context id; isolates this communicator's traffic.
+    members:
+        World ranks belonging to this communicator, ordered by
+        communicator rank.
+    my_world_rank:
+        The world rank of the process this handle belongs to.
+    """
+
+    def __init__(self, world, ctx: int, members: Sequence[int], my_world_rank: int):
+        self.world = world
+        self.ctx = ctx
+        self._members = list(members)
+        self._world_rank = my_world_rank
+        self._comm_rank = {w: i for i, w in enumerate(self._members)}
+        if my_world_rank not in self._comm_rank:
+            raise ValueError(
+                f"world rank {my_world_rank} is not a member of this communicator"
+            )
+        self.rank = self._comm_rank[my_world_rank]
+        self.size = len(self._members)
+        # Collective sequence number; identical call order on all members
+        # (an MPI requirement) keeps these in sync.
+        self._coll_seq = 0
+
+    # -- rank translation -----------------------------------------------------
+    def world_rank_of(self, comm_rank: int) -> int:
+        return self._members[comm_rank]
+
+    def comm_rank_of(self, world_rank: int) -> int:
+        return self._comm_rank[world_rank]
+
+    @property
+    def members(self) -> List[int]:
+        return list(self._members)
+
+    def _translate(self, packet: Packet) -> Message:
+        return Message(
+            payload=packet.payload,
+            source=self._comm_rank[packet.src],
+            tag=packet.tag,
+            nbytes=packet.nbytes,
+        )
+
+    # -- point to point ----------------------------------------------------------
+    def send(
+        self,
+        dest: int,
+        payload: Any,
+        tag: Hashable = 0,
+        nbytes: Optional[int] = None,
+        kind: str = KIND_P2P,
+    ) -> Generator:
+        """Blocking (buffered) send.  ``yield from comm.send(...)``."""
+        src_w = self._world_rank
+        dst_w = self._members[dest]
+        size = payload_nbytes(payload, nbytes) + HEADER_BYTES
+        if isinstance(payload, np.ndarray):
+            payload = payload.copy()  # MPI copies the buffer; avoid aliasing
+        pkt = Packet(
+            src=src_w, dst=dst_w, ctx=self.ctx, kind=kind, tag=tag,
+            payload=payload, nbytes=size,
+        )
+        machine = self.world.machine
+        deliver = self.world.inboxes[dst_w].deliver
+        yield from machine.transmit(src_w, dst_w, size, pkt, deliver)
+
+    def isend(
+        self,
+        dest: int,
+        payload: Any,
+        tag: Hashable = 0,
+        nbytes: Optional[int] = None,
+        kind: str = KIND_P2P,
+    ) -> SendRequest:
+        """Nonblocking send; returns a request completing when the
+        sender-side costs are paid."""
+        proc = self.world.sim.process(
+            self.send(dest, payload, tag=tag, nbytes=nbytes, kind=kind),
+            name=f"isend:{self._world_rank}->{self._members[dest]}",
+        )
+        return SendRequest(proc)
+
+    def recv(
+        self,
+        source=ANY_SOURCE,
+        tag: Hashable = ANY_TAG,
+        kind: str = KIND_P2P,
+    ) -> Generator:
+        """Blocking receive; returns a :class:`Message`."""
+        req = self.irecv(source=source, tag=tag, kind=kind)
+        msg = yield from req.wait()
+        return msg
+
+    def irecv(
+        self,
+        source=ANY_SOURCE,
+        tag: Hashable = ANY_TAG,
+        kind: str = KIND_P2P,
+    ) -> RecvRequest:
+        """Nonblocking receive."""
+        src_w = source if source is ANY_SOURCE else self._members[source]
+        ev = self.world.inboxes[self._world_rank].post(self.ctx, kind, src_w, tag)
+        return RecvRequest(ev, self._translate)
+
+    def probe(self, source=ANY_SOURCE, tag: Hashable = ANY_TAG, kind: str = KIND_P2P):
+        """Nonblocking probe of the unexpected queue; Message or None."""
+        src_w = source if source is ANY_SOURCE else self._members[source]
+        pkt = self.world.inboxes[self._world_rank].probe(self.ctx, kind, src_w, tag)
+        return None if pkt is None else self._translate(pkt)
+
+    # -- collectives ------------------------------------------------------------
+    def _next_coll_tag(self, name: str):
+        self._coll_seq += 1
+        return (self._coll_seq, name)
+
+    def barrier(self) -> Generator:
+        from . import collectives
+
+        yield from collectives.barrier(self)
+
+    def bcast(self, value: Any = None, root: int = 0) -> Generator:
+        from . import collectives
+
+        result = yield from collectives.bcast(self, value, root)
+        return result
+
+    def reduce(self, value: Any, op: Callable[[Any, Any], Any], root: int = 0) -> Generator:
+        from . import collectives
+
+        result = yield from collectives.reduce(self, value, op, root)
+        return result
+
+    def allreduce(self, value: Any, op: Callable[[Any, Any], Any]) -> Generator:
+        from . import collectives
+
+        result = yield from collectives.allreduce(self, value, op)
+        return result
+
+    def gather(self, value: Any, root: int = 0) -> Generator:
+        from . import collectives
+
+        result = yield from collectives.gather(self, value, root)
+        return result
+
+    def allgather(self, value: Any) -> Generator:
+        from . import collectives
+
+        result = yield from collectives.allgather(self, value)
+        return result
+
+    def scatter(self, values: Optional[Sequence[Any]], root: int = 0) -> Generator:
+        from . import collectives
+
+        result = yield from collectives.scatter(self, values, root)
+        return result
+
+    def alltoall(self, values: Sequence[Any]) -> Generator:
+        from . import collectives
+
+        result = yield from collectives.alltoallv(self, values)
+        return result
+
+    def alltoallv(self, values: Sequence[Any]) -> Generator:
+        from . import collectives
+
+        result = yield from collectives.alltoallv(self, values)
+        return result
+
+    def reduce_scatter(self, values: Sequence[Any], op: Callable) -> Generator:
+        from . import collectives
+
+        result = yield from collectives.reduce_scatter(self, values, op)
+        return result
+
+    # -- communicator management ---------------------------------------------------
+    def split(self, color: Hashable, key: Optional[int] = None) -> Generator:
+        """Collective: partition into sub-communicators by ``color``.
+
+        Returns the new :class:`Comm` for this rank (``color=None`` ranks
+        get ``None``, like MPI_UNDEFINED).
+        """
+        if key is None:
+            key = self.rank
+        entries = yield from self.allgather((color, key, self.rank))
+        tag = self._next_coll_tag("split")  # keeps _coll_seq aligned
+        del tag
+        if color is None:
+            return None
+        members_sorted = sorted(
+            (k, r) for (c, k, r) in entries if c == color
+        )
+        members_world = [self._members[r] for (_k, r) in members_sorted]
+        # Context id derived identically on every member: parent ctx,
+        # collective seq, and color order ensure global uniqueness.
+        ctx = self.world.derive_context(self.ctx, self._coll_seq, color)
+        return Comm(self.world, ctx, members_world, self._world_rank)
+
+    def dup(self) -> Generator:
+        """Collective: duplicate this communicator with a fresh context."""
+        comm = yield from self.split(color=0, key=self.rank)
+        return comm

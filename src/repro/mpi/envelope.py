@@ -1,0 +1,71 @@
+"""Packet envelopes and matching wildcards for the simulated MPI layer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Hashable
+
+
+class _Any:
+    """Singleton wildcard (``ANY_SOURCE`` / ``ANY_TAG``)."""
+
+    __slots__ = ("_label",)
+
+    def __init__(self, label: str):
+        self._label = label
+
+    def __repr__(self) -> str:
+        return self._label
+
+
+#: Match a message from any source (MPI_ANY_SOURCE).
+ANY_SOURCE = _Any("ANY_SOURCE")
+#: Match a message with any tag (MPI_ANY_TAG).
+ANY_TAG = _Any("ANY_TAG")
+
+#: Wire-header bytes charged per packet on top of the payload
+#: (source/dest/tag/length metadata -- the overhead coalescing amortises).
+HEADER_BYTES = 32
+
+#: Packet kinds: plain point-to-point, collective-internal, and the two
+#: YGM transport channels (application data and termination protocol).
+KIND_P2P = "p2p"
+KIND_COLL = "coll"
+
+
+@dataclass
+class Packet:
+    """One transmitted packet.
+
+    ``src``/``dst`` are *world* ranks.  ``ctx`` is the communicator
+    context id (isolates communicators from each other, like MPI context
+    ids); ``kind`` separates traffic classes so upper layers can subscribe
+    whole classes to dedicated stores.
+    """
+
+    src: int
+    dst: int
+    ctx: int
+    kind: str
+    tag: Hashable
+    payload: Any
+    nbytes: int
+
+    def matches(self, ctx: int, kind: str, src, tag) -> bool:
+        """Whether this packet satisfies a posted receive."""
+        return (
+            self.ctx == ctx
+            and self.kind == kind
+            and (src is ANY_SOURCE or self.src == src)
+            and (tag is ANY_TAG or self.tag == tag)
+        )
+
+
+@dataclass(frozen=True)
+class Message:
+    """What a receive returns: payload plus communicator-level metadata."""
+
+    payload: Any
+    source: int
+    tag: Hashable
+    nbytes: int

@@ -1,0 +1,129 @@
+"""Per-rank message matching: posted receives and unexpected messages.
+
+This mirrors how MPI implementations match incoming traffic:
+
+* arriving packets first try the *posted-receive queue* (FIFO order of
+  posting, first match wins),
+* otherwise they land in the *unexpected-message queue*, which future
+  receives scan before blocking,
+* additionally, whole traffic classes ``(ctx, kind)`` can be *subscribed*
+  to a :class:`~repro.sim.stores.Store` -- the YGM transport uses this to
+  steer its application and termination channels into dedicated queues it
+  can progress independently of MPI-style matching.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Hashable, List, Optional, Tuple
+
+from ..sim import Event, Simulator, Store
+from .envelope import ANY_SOURCE, ANY_TAG, Packet
+
+
+class PostedRecv(Event):
+    """A posted receive; triggers with the matching :class:`Packet`."""
+
+    __slots__ = ("ctx", "kind", "source", "tag", "_cancelled")
+
+    def __init__(self, sim: Simulator, ctx: int, kind: str, source, tag):
+        super().__init__(sim, name="posted_recv")
+        self.ctx = ctx
+        self.kind = kind
+        self.source = source
+        self.tag = tag
+        self._cancelled = False
+
+    def cancel(self) -> None:
+        """Withdraw the receive if not yet matched (lazy removal)."""
+        if not self.triggered:
+            self._cancelled = True
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+
+class Inbox:
+    """The matching engine of a single rank."""
+
+    def __init__(self, sim: Simulator, rank: int):
+        self.sim = sim
+        self.rank = rank
+        self._posted: Deque[PostedRecv] = deque()
+        self._unexpected: List[Packet] = []
+        self._subscriptions: Dict[Tuple[int, str], Store] = {}
+        #: Counters for diagnostics.
+        self.delivered = 0
+        self.unexpected_peak = 0
+
+    # -- subscription ---------------------------------------------------------
+    def subscribe(self, ctx: int, kind: str) -> Store:
+        """Route all ``(ctx, kind)`` packets into a dedicated store.
+
+        Must be installed before any matching traffic arrives; packets of
+        a subscribed class never enter the posted/unexpected machinery.
+        """
+        key = (ctx, kind)
+        if key in self._subscriptions:
+            return self._subscriptions[key]
+        store = Store(self.sim, name=f"inbox[{self.rank}]:{kind}")
+        self._subscriptions[key] = store
+        # Re-steer any earlier arrivals of this class.
+        keep: List[Packet] = []
+        for pkt in self._unexpected:
+            if pkt.ctx == ctx and pkt.kind == kind:
+                store.put(pkt)
+            else:
+                keep.append(pkt)
+        self._unexpected = keep
+        return store
+
+    # -- delivery (called by the machine transport) ------------------------------
+    def deliver(self, packet: Packet) -> None:
+        self.delivered += 1
+        store = self._subscriptions.get((packet.ctx, packet.kind))
+        if store is not None:
+            store.put(packet)
+            return
+        for posted in self._posted:
+            if posted.cancelled or posted.triggered:
+                continue
+            if packet.matches(posted.ctx, posted.kind, posted.source, posted.tag):
+                posted.succeed(packet)
+                self._posted.remove(posted)
+                self._compact()
+                return
+        self._unexpected.append(packet)
+        if len(self._unexpected) > self.unexpected_peak:
+            self.unexpected_peak = len(self._unexpected)
+
+    # -- receiving -------------------------------------------------------------
+    def post(self, ctx: int, kind: str, source, tag) -> PostedRecv:
+        """Post a receive; triggers with the first matching packet."""
+        ev = PostedRecv(self.sim, ctx, kind, source, tag)
+        for i, pkt in enumerate(self._unexpected):
+            if pkt.matches(ctx, kind, source, tag):
+                del self._unexpected[i]
+                ev.succeed(pkt)
+                return ev
+        self._posted.append(ev)
+        return ev
+
+    def probe(self, ctx: int, kind: str, source=ANY_SOURCE, tag=ANY_TAG) -> Optional[Packet]:
+        """Non-destructively find a matching unexpected packet."""
+        for pkt in self._unexpected:
+            if pkt.matches(ctx, kind, source, tag):
+                return pkt
+        return None
+
+    def _compact(self) -> None:
+        """Drop stale (cancelled/triggered) posted entries from the front."""
+        while self._posted and (
+            self._posted[0].cancelled or self._posted[0].triggered
+        ):
+            self._posted.popleft()
+
+    @property
+    def pending_unexpected(self) -> int:
+        return len(self._unexpected)

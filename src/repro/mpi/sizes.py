@@ -1,0 +1,32 @@
+"""Payload size measurement for the simulated transport.
+
+The network model times packets by their wire size.  For NumPy arrays the
+size is exact (``nbytes``); for generic Python objects we use the serde
+encoding size -- the same bytes a real YGM would put on the wire through
+cereal.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+import numpy as np
+
+from ..serde import packed_size
+
+
+def payload_nbytes(payload: Any, nbytes: Optional[int] = None) -> int:
+    """Wire size of ``payload`` (excluding the packet header).
+
+    An explicit ``nbytes`` always wins (callers that already know the
+    encoded size, e.g. coalesced YGM buffers, avoid re-measuring).
+    """
+    if nbytes is not None:
+        if nbytes < 0:
+            raise ValueError(f"negative payload size: {nbytes}")
+        return nbytes
+    if isinstance(payload, np.ndarray):
+        return payload.nbytes
+    if isinstance(payload, (bytes, bytearray, memoryview)):
+        return len(payload)
+    return packed_size(payload)

@@ -1,0 +1,22 @@
+"""Serialization for variable-length messages (the *cereal* substitute).
+
+See paper Section IV-C: YGM supports variable-length messages via cereal;
+this package provides the same capability (binary packing with container
+support and a user-type registry) plus a NumPy structured-record fast path
+for bulk numeric traffic.
+"""
+
+from .packer import SerdeError, pack, packed_size, unpack
+from .records import RecordSpec
+from .registry import clear_registry, register, registered
+
+__all__ = [
+    "RecordSpec",
+    "SerdeError",
+    "clear_registry",
+    "pack",
+    "packed_size",
+    "register",
+    "registered",
+    "unpack",
+]

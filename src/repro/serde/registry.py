@@ -1,0 +1,97 @@
+"""Registration of user types with the serializer.
+
+Mirrors cereal's user-type support: a type is registered once (with a
+stable integer id) together with functions that convert instances to and
+from serialisable *state*.  Dataclasses can be registered with no
+converter functions at all.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional, Type
+
+
+@dataclass(frozen=True)
+class RegistryEntry:
+    type_id: int
+    cls: Type
+    to_state: Callable[[Any], Any]
+    from_state: Callable[[Any], Any]
+
+
+_BY_TYPE: Dict[Type, RegistryEntry] = {}
+_BY_ID: Dict[int, RegistryEntry] = {}
+
+
+def register(
+    cls: Type,
+    type_id: int,
+    to_state: Optional[Callable[[Any], Any]] = None,
+    from_state: Optional[Callable[[Any], Any]] = None,
+) -> Type:
+    """Register ``cls`` for serialization under ``type_id``.
+
+    For dataclasses the converters default to field-tuple round-tripping.
+    Registering the same (cls, type_id) pair again is a no-op; conflicting
+    registrations raise ``ValueError``.
+
+    Can be used as a decorator factory::
+
+        @serde.registered(7)
+        @dataclass
+        class Update:
+            vertex: int
+            label: int
+    """
+    if to_state is None or from_state is None:
+        if not dataclasses.is_dataclass(cls):
+            raise ValueError(
+                f"{cls.__name__}: converters are required for non-dataclasses"
+            )
+        fields = [f.name for f in dataclasses.fields(cls)]
+        to_state = to_state or (
+            lambda obj, _fields=tuple(fields): tuple(
+                getattr(obj, name) for name in _fields
+            )
+        )
+        from_state = from_state or (lambda state, _cls=cls: _cls(*state))
+    existing = _BY_ID.get(type_id)
+    if existing is not None:
+        if existing.cls is cls:
+            return cls
+        raise ValueError(
+            f"type id {type_id} already registered for {existing.cls.__name__}"
+        )
+    if cls in _BY_TYPE:
+        raise ValueError(
+            f"{cls.__name__} already registered with id {_BY_TYPE[cls].type_id}"
+        )
+    entry = RegistryEntry(type_id, cls, to_state, from_state)
+    _BY_TYPE[cls] = entry
+    _BY_ID[type_id] = entry
+    return cls
+
+
+def registered(type_id: int) -> Callable[[Type], Type]:
+    """Decorator form of :func:`register` for dataclasses."""
+
+    def deco(cls: Type) -> Type:
+        return register(cls, type_id)
+
+    return deco
+
+
+def lookup_by_type(cls: Type) -> Optional[RegistryEntry]:
+    return _BY_TYPE.get(cls)
+
+
+def lookup_by_id(type_id: int) -> Optional[RegistryEntry]:
+    return _BY_ID.get(type_id)
+
+
+def clear_registry() -> None:
+    """Remove all registrations (test isolation helper)."""
+    _BY_TYPE.clear()
+    _BY_ID.clear()

@@ -1,0 +1,34 @@
+"""A minimal deterministic discrete-event simulation (DES) kernel.
+
+This package is the foundation of the reproduction: simulated MPI ranks
+are generator coroutines (:class:`Process`) scheduled by a
+:class:`Simulator`, and all timing in the reproduced figures is the
+simulated clock of this kernel.
+
+The design follows the classic process-interaction style (cf. SimPy, which
+is not available offline): processes ``yield`` events; stores provide
+cancellable blocking gets; resources model contended hardware.
+"""
+
+from .errors import DeadlockError, EventStateError, ProcessError, SimulationError
+from .events import AllOf, AnyOf, Event, Timeout
+from .kernel import Simulator
+from .process import Process
+from .resources import Resource
+from .stores import Store, StoreGet
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "DeadlockError",
+    "Event",
+    "EventStateError",
+    "Process",
+    "ProcessError",
+    "Resource",
+    "SimulationError",
+    "Simulator",
+    "Store",
+    "StoreGet",
+    "Timeout",
+]

@@ -1,0 +1,134 @@
+"""The discrete-event simulation kernel.
+
+:class:`Simulator` owns a priority queue of triggered events keyed by
+``(time, sequence_number)``.  The sequence number makes execution fully
+deterministic: two events triggered for the same simulated time are
+processed in the order they were triggered.
+
+The kernel is intentionally tiny -- the whole simulated-MPI/YGM stack is
+expressed in terms of :class:`~repro.sim.events.Event`,
+:class:`~repro.sim.process.Process`, :class:`~repro.sim.stores.Store` and
+:class:`~repro.sim.resources.Resource`.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, List, Optional, Sequence, Tuple
+
+from .errors import DeadlockError
+from .events import AllOf, AnyOf, Event, Timeout
+
+
+class Simulator:
+    """A deterministic discrete-event simulator.
+
+    Example
+    -------
+    >>> sim = Simulator()
+    >>> def hello(sim):
+    ...     yield sim.timeout(1.5)
+    ...     return "done"
+    >>> p = sim.process(hello(sim))
+    >>> sim.run()
+    >>> p.value
+    'done'
+    >>> sim.now
+    1.5
+    """
+
+    def __init__(self) -> None:
+        self._now: float = 0.0
+        self._seq: int = 0
+        self._heap: List[Tuple[float, int, Event]] = []
+        #: Number of live (unfinished) processes; used for deadlock checks.
+        self._live_processes: int = 0
+        #: Processes currently blocked (not finished, not on the queue).
+        self._steps: int = 0
+
+    # -- time --------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def steps(self) -> int:
+        """Total number of events processed so far (diagnostic)."""
+        return self._steps
+
+    # -- event factories -----------------------------------------------------
+    def event(self, name: str = "") -> Event:
+        """Create a fresh pending event."""
+        return Event(self, name)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """An event triggering ``delay`` seconds from now."""
+        return Timeout(self, delay, value)
+
+    def any_of(self, events: Sequence[Event]) -> AnyOf:
+        """An event triggering when the first of ``events`` triggers."""
+        return AnyOf(self, events)
+
+    def all_of(self, events: Sequence[Event]) -> AllOf:
+        """An event triggering when all of ``events`` have triggered."""
+        return AllOf(self, events)
+
+    def process(self, gen: Generator, name: str = "") -> "Process":  # noqa: F821
+        """Launch *gen* as a simulated process; returns its Process event."""
+        from .process import Process
+
+        return Process(self, gen, name=name)
+
+    # -- queue management ------------------------------------------------------
+    def _enqueue(self, event: Event, delay: float = 0.0) -> None:
+        """Place a triggered event on the processing queue."""
+        self._seq += 1
+        heapq.heappush(self._heap, (self._now + delay, self._seq, event))
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> Event:
+        """Run ``callback()`` after ``delay`` seconds; returns the event."""
+        ev = self.timeout(delay)
+        ev.attach(lambda _ev: callback())
+        return ev
+
+    # -- execution -------------------------------------------------------------
+    def step(self) -> None:
+        """Process the single next event."""
+        t, _seq, event = heapq.heappop(self._heap)
+        self._now = t
+        self._steps += 1
+        event._process()
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run until the queue drains or simulated time passes ``until``.
+
+        Raises
+        ------
+        DeadlockError
+            If the queue drains while processes are still live.  (Live
+            means started and not finished; a blocked process with no
+            pending event can never make progress again.)
+        """
+        heap = self._heap
+        while heap:
+            if until is not None and heap[0][0] > until:
+                self._now = until
+                return
+            self.step()
+        if self._live_processes > 0:
+            raise DeadlockError(self._live_processes, self._now)
+
+    def run_until_complete(self, *processes: "Process") -> None:  # noqa: F821
+        """Run until every given process has finished.
+
+        Unlike :meth:`run`, other still-live processes (e.g. daemon-like
+        service loops) do not count as a deadlock once the awaited
+        processes are done.
+        """
+        pending = [p for p in processes if not p.triggered]
+        while pending:
+            if not self._heap:
+                raise DeadlockError(self._live_processes, self._now)
+            self.step()
+            pending = [p for p in pending if not p.triggered]

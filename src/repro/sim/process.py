@@ -1,0 +1,93 @@
+"""Processes: generator coroutines driven by the simulation kernel.
+
+A simulated process is a generator that ``yield``\\ s
+:class:`~repro.sim.events.Event` objects.  Each yield suspends the process
+until the event triggers; the event's value is sent back into the
+generator (or its exception thrown in, if the event failed).
+
+A :class:`Process` is itself an event that triggers when the generator
+returns, with the generator's return value -- so processes can wait on
+each other::
+
+    def child(sim):
+        yield sim.timeout(1)
+        return 42
+
+    def parent(sim):
+        result = yield sim.process(child(sim))
+        assert result == 42
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from .errors import ProcessError
+from .events import Event
+
+
+class Process(Event):
+    """An event wrapping a running generator coroutine."""
+
+    __slots__ = ("gen", "_waiting_on",)
+
+    def __init__(self, sim: "Simulator", gen: Generator, name: str = ""):  # noqa: F821
+        if not hasattr(gen, "send"):
+            raise TypeError(
+                f"process target must be a generator, got {type(gen).__name__}; "
+                "did you forget to call the generator function?"
+            )
+        super().__init__(sim, name=name or getattr(gen, "__name__", "process"))
+        self.gen = gen
+        self._waiting_on: Event | None = None
+        sim._live_processes += 1
+        # Kick off at the current time via an initialisation event so that
+        # process startup is serialized through the queue (deterministic).
+        init = Event(sim, name=f"init:{self.name}")
+        init.attach(self._resume)
+        init.succeed(None)
+
+    @property
+    def is_alive(self) -> bool:
+        """``True`` while the generator has not finished."""
+        return not self.triggered
+
+    def _resume(self, event: Event) -> None:
+        """Advance the generator with ``event``'s value (kernel callback)."""
+        self._waiting_on = None
+        try:
+            if event.ok is False:
+                target = self.gen.throw(event.value)
+            else:
+                target = self.gen.send(event.value)
+        except StopIteration as stop:
+            self.sim._live_processes -= 1
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:
+            self.sim._live_processes -= 1
+            # Surface the failure: if nobody is waiting on this process the
+            # error would otherwise vanish, so re-raise out of the kernel.
+            if self.callbacks:
+                self.fail(exc)
+            else:
+                err = ProcessError(f"unhandled error in process {self.name!r}")
+                raise err from exc
+            return
+        if not isinstance(target, Event):
+            self.sim._live_processes -= 1
+            exc2: BaseException = TypeError(
+                f"process {self.name!r} yielded {target!r}; processes must "
+                "yield Event instances"
+            )
+            if self.callbacks:
+                self.fail(exc2)
+            else:
+                raise exc2
+            return
+        if target.sim is not self.sim:
+            raise ProcessError(
+                f"process {self.name!r} yielded an event from a different simulator"
+            )
+        self._waiting_on = target
+        target.attach(self._resume)

@@ -1,0 +1,74 @@
+"""FIFO resources used to model contended hardware.
+
+A :class:`Resource` models a server with ``capacity`` concurrent slots and
+a FIFO wait queue.  In the machine model, each core's injection engine and
+each node's NIC is a capacity-1 resource: holding it for
+``bytes / bandwidth`` seconds is how transmission serialization (and hence
+congestion at hot nodes) arises in the simulation.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Generator
+
+from .events import Event
+
+
+class Resource:
+    """A FIFO-ordered multi-slot resource."""
+
+    def __init__(self, sim: "Simulator", capacity: int = 1, name: str = ""):  # noqa: F821
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.name = name
+        self.capacity = capacity
+        self._in_use = 0
+        self._waiters: Deque[Event] = deque()
+        #: Total simulated seconds of holds completed (utilisation metric).
+        self.busy_time = 0.0
+        #: Number of completed holds.
+        self.holds = 0
+
+    @property
+    def in_use(self) -> int:
+        return self._in_use
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._waiters)
+
+    def acquire(self) -> Event:
+        """Return an event triggering when a slot is granted to the caller."""
+        ev = Event(self.sim, name=f"acquire:{self.name}")
+        if self._in_use < self.capacity:
+            self._in_use += 1
+            ev.succeed(None)
+        else:
+            self._waiters.append(ev)
+        return ev
+
+    def release(self) -> None:
+        """Release one slot, waking the oldest waiter if any."""
+        if self._in_use <= 0:
+            raise RuntimeError(f"release() of idle resource {self.name!r}")
+        if self._waiters:
+            # Hand the slot directly to the next waiter (in_use unchanged).
+            self._waiters.popleft().succeed(None)
+        else:
+            self._in_use -= 1
+
+    def timed(self, duration: float) -> Generator:
+        """Generator helper: acquire, hold for ``duration``, release.
+
+        Usage from a process: ``yield from resource.timed(t)``.
+        """
+        yield self.acquire()
+        try:
+            if duration > 0:
+                yield self.sim.timeout(duration)
+            self.busy_time += duration
+            self.holds += 1
+        finally:
+            self.release()

@@ -1,0 +1,99 @@
+"""Asynchronous BFS vs networkx hop distances."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro import YgmWorld
+from repro.apps.bfs import UNREACHED, gather_global_distances, make_bfs
+from repro.core.routing import PAPER_SCHEMES
+from repro.graph import er_stream, rmat_stream
+from repro.machine import small
+
+
+def reference_distances(stream, nranks, source):
+    g = nx.Graph()
+    g.add_nodes_from(range(stream.num_vertices))
+    for rank in range(nranks):
+        u, v = stream.all_edges(rank)
+        g.add_edges_from(zip(u.tolist(), v.tolist()))
+    out = np.full(stream.num_vertices, UNREACHED, dtype=np.int64)
+    for v, d in nx.single_source_shortest_path_length(g, source).items():
+        out[v] = d
+    return out
+
+
+@pytest.mark.parametrize("scheme", PAPER_SCHEMES)
+def test_bfs_matches_networkx(scheme):
+    stream = er_stream(num_vertices=96, edges_per_rank=60, seed=21)
+    nranks = 4
+    source = 5
+    world = YgmWorld(small(nodes=2, cores_per_node=2), scheme=scheme)
+    res = world.run(make_bfs(stream, source=source, batch_size=64))
+    got = gather_global_distances(res.values, 96, nranks)
+    assert np.array_equal(got, reference_distances(stream, nranks, source))
+
+
+def test_bfs_on_skewed_graph():
+    stream = rmat_stream(scale=8, edges_per_rank=400, seed=22)
+    world = YgmWorld(small(nodes=2, cores_per_node=2), scheme="nlnr")
+    res = world.run(make_bfs(stream, source=0, batch_size=256))
+    got = gather_global_distances(res.values, 256, 4)
+    assert np.array_equal(got, reference_distances(stream, 4, 0))
+
+
+def test_bfs_disconnected_vertices_unreached():
+    stream = er_stream(num_vertices=200, edges_per_rank=20, seed=23)
+    world = YgmWorld(small(nodes=2, cores_per_node=2), scheme="node_remote")
+    res = world.run(make_bfs(stream, source=0, batch_size=64))
+    got = gather_global_distances(res.values, 200, 4)
+    ref = reference_distances(stream, 4, 0)
+    assert np.array_equal(got, ref)
+    assert (got == UNREACHED).any()  # sparse graph: some unreachable
+
+
+def test_bfs_source_validation():
+    stream = er_stream(num_vertices=10, edges_per_rank=5, seed=0)
+    with pytest.raises(ValueError):
+        make_bfs(stream, source=10)
+    with pytest.raises(ValueError):
+        make_bfs(stream, source=-1)
+
+
+def test_bfs_source_distance_zero():
+    stream = er_stream(num_vertices=32, edges_per_rank=64, seed=24)
+    world = YgmWorld(small(nodes=1, cores_per_node=2), scheme="noroute")
+    res = world.run(make_bfs(stream, source=7))
+    got = gather_global_distances(res.values, 32, 2)
+    assert got[7] == 0
+
+
+def test_bfs_path_graph_depth():
+    """A long path: distances equal positions; exercises deep async
+    wavefronts through many wait_empty-era forwardings."""
+    from repro.graph.generators import EdgeStream
+
+    class PathStream(EdgeStream):
+        def __init__(self, n):
+            object.__setattr__(self, "kind", "fixed")
+            object.__setattr__(self, "num_vertices", n)
+            object.__setattr__(self, "edges_per_rank", n - 1)
+            object.__setattr__(self, "seed", 0)
+            object.__setattr__(self, "scale", 0)
+            object.__setattr__(self, "params", (0.25,) * 4)
+
+        def all_edges(self, rank):
+            if rank == 0:
+                u = np.arange(self.num_vertices - 1, dtype=np.int64)
+                return u, u + 1
+            z = np.empty(0, dtype=np.int64)
+            return z, z
+
+        def batches(self, rank, batch_size):
+            yield self.all_edges(rank)
+
+    n = 40
+    world = YgmWorld(small(nodes=2, cores_per_node=2), scheme="nlnr")
+    res = world.run(make_bfs(PathStream(n), source=0))
+    got = gather_global_distances(res.values, n, 4)
+    assert np.array_equal(got, np.arange(n))

@@ -1,0 +1,128 @@
+"""Connected components vs networkx, with and without delegates."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro import YgmWorld
+from repro.apps import gather_global_labels, make_connected_components
+from repro.core.routing import PAPER_SCHEMES
+from repro.graph import er_stream, rmat_stream
+from repro.machine import small
+
+
+def reference_labels(stream, nranks):
+    """Min component id per vertex, via networkx."""
+    g = nx.Graph()
+    g.add_nodes_from(range(stream.num_vertices))
+    for rank in range(nranks):
+        u, v = stream.all_edges(rank)
+        g.add_edges_from(zip(u.tolist(), v.tolist()))
+    labels = np.arange(stream.num_vertices, dtype=np.int64)
+    for comp in nx.connected_components(g):
+        m = min(comp)
+        for v in comp:
+            labels[v] = m
+    return labels
+
+
+@pytest.mark.parametrize("scheme", PAPER_SCHEMES)
+def test_cc_no_delegates_matches_networkx(scheme):
+    nodes, cores = 2, 2
+    stream = er_stream(num_vertices=64, edges_per_rank=40, seed=5)
+    world = YgmWorld(small(nodes=nodes, cores_per_node=cores), scheme=scheme)
+    res = world.run(make_connected_components(stream, batch_size=64))
+    got = gather_global_labels(res.values, 64, 4)
+    assert np.array_equal(got, reference_labels(stream, 4))
+    assert res.mailbox_stats.bcasts_initiated == 0
+
+
+@pytest.mark.parametrize("scheme", ["node_remote", "nlnr"])
+def test_cc_with_delegates_matches_networkx(scheme):
+    """Skewed RMAT graph with an aggressive threshold: many delegates."""
+    nodes, cores = 2, 2
+    stream = rmat_stream(scale=7, edges_per_rank=300, seed=6)
+    world = YgmWorld(small(nodes=nodes, cores_per_node=cores), scheme=scheme)
+    res = world.run(
+        make_connected_components(stream, delegate_threshold=20.0, batch_size=128)
+    )
+    got = gather_global_labels(res.values, 128, 4)
+    assert np.array_equal(got, reference_labels(stream, 4))
+    # Delegates existed and were synchronised with asynchronous broadcasts.
+    assert res.values[0].delegate_count > 0
+    assert res.mailbox_stats.bcasts_initiated > 0
+
+
+def test_cc_delegate_and_plain_agree():
+    stream = rmat_stream(scale=6, edges_per_rank=200, seed=7)
+    w1 = YgmWorld(small(nodes=2, cores_per_node=2), scheme="nlnr")
+    w2 = YgmWorld(small(nodes=2, cores_per_node=2), scheme="nlnr")
+    res_plain = w1.run(make_connected_components(stream))
+    res_del = w2.run(make_connected_components(stream, delegate_threshold=10.0))
+    l1 = gather_global_labels(res_plain.values, 64, 4)
+    l2 = gather_global_labels(res_del.values, 64, 4)
+    assert np.array_equal(l1, l2)
+
+
+def test_cc_path_graph_takes_many_passes():
+    """A long path exercises multi-pass convergence (O(diam) passes)."""
+    # Build a custom stream-like object over a fixed edge list.
+    from repro.graph.generators import EdgeStream
+
+    class FixedStream(EdgeStream):
+        def __init__(self, edges, n):
+            object.__setattr__(self, "kind", "fixed")
+            object.__setattr__(self, "num_vertices", n)
+            object.__setattr__(self, "edges_per_rank", len(edges))
+            object.__setattr__(self, "seed", 0)
+            object.__setattr__(self, "scale", 0)
+            object.__setattr__(self, "params", (0.25,) * 4)
+            self._edges = edges
+
+        def all_edges(self, rank):
+            if rank == 0:
+                u = np.array([e[0] for e in self._edges], dtype=np.int64)
+                v = np.array([e[1] for e in self._edges], dtype=np.int64)
+                return u, v
+            z = np.empty(0, dtype=np.int64)
+            return z, z
+
+        def batches(self, rank, batch_size):
+            yield self.all_edges(rank)
+
+    n = 16
+    stream = FixedStream([(i, i + 1) for i in range(n - 1)], n)
+    world = YgmWorld(small(nodes=2, cores_per_node=2), scheme="node_local")
+    res = world.run(make_connected_components(stream, batch_size=8))
+    labels = gather_global_labels(res.values, n, 4)
+    assert (labels == 0).all()
+    assert res.values[0].passes > 2
+
+
+def test_cc_disconnected_components():
+    from repro.graph.generators import EdgeStream
+
+    class TwoTriangles(EdgeStream):
+        def __init__(self):
+            object.__setattr__(self, "kind", "fixed")
+            object.__setattr__(self, "num_vertices", 8)
+            object.__setattr__(self, "edges_per_rank", 6)
+            object.__setattr__(self, "seed", 0)
+            object.__setattr__(self, "scale", 0)
+            object.__setattr__(self, "params", (0.25,) * 4)
+
+        def all_edges(self, rank):
+            if rank == 0:
+                u = np.array([1, 2, 3, 5, 6, 7], dtype=np.int64)
+                v = np.array([2, 3, 1, 6, 7, 5], dtype=np.int64)
+                return u, v
+            z = np.empty(0, dtype=np.int64)
+            return z, z
+
+        def batches(self, rank, batch_size):
+            yield self.all_edges(rank)
+
+    world = YgmWorld(small(nodes=2, cores_per_node=2), scheme="nlnr")
+    res = world.run(make_connected_components(TwoTriangles()))
+    labels = gather_global_labels(res.values, 8, 4)
+    assert list(labels) == [0, 1, 1, 1, 4, 5, 5, 5]

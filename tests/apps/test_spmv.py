@@ -1,0 +1,115 @@
+"""YGM SpMV (Algorithm 2) vs scipy, with and without delegates."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro import YgmWorld
+from repro.core.routing import PAPER_SCHEMES
+from repro.graph import DelegateSet, build_delegates, rmat_edges
+from repro.linalg import gather_global_y, make_spmv, partition_spmv_problem
+from repro.machine import small
+
+
+def random_problem(n, nnz, seed, skewed=False):
+    rng = np.random.default_rng(seed)
+    if skewed:
+        scale = int(np.log2(n))
+        rows, cols = rmat_edges(scale, nnz, rng)
+    else:
+        rows = rng.integers(0, n, nnz)
+        cols = rng.integers(0, n, nnz)
+    vals = rng.standard_normal(nnz)
+    x = rng.standard_normal(n)
+    return rows, cols, vals, x
+
+
+def run_spmv(nodes, cores, scheme, rows, cols, vals, x, n, delegates=None, **kw):
+    nranks = nodes * cores
+    problems = [
+        partition_spmv_problem(r, nranks, n, rows, cols, vals, x, delegates)
+        for r in range(nranks)
+    ]
+    world = YgmWorld(small(nodes=nodes, cores_per_node=cores), scheme=scheme)
+    res = world.run(make_spmv(problems, **kw))
+    y = gather_global_y(res.values, n, nranks)
+    return y, res
+
+
+def reference_y(n, rows, cols, vals, x):
+    a = sp.coo_matrix((vals, (rows, cols)), shape=(n, n)).tocsr()
+    return a @ x
+
+
+@pytest.mark.parametrize("scheme", PAPER_SCHEMES)
+def test_spmv_no_delegates_matches_scipy(scheme):
+    n, nnz = 60, 400
+    rows, cols, vals, x = random_problem(n, nnz, seed=0)
+    y, res = run_spmv(2, 2, scheme, rows, cols, vals, x, n)
+    assert np.allclose(y, reference_y(n, rows, cols, vals, x))
+    # Without delegates every cross-rank nonzero is one message.
+    assert res.mailbox_stats.app_messages_sent > 0
+
+
+def test_spmv_with_delegates_matches_scipy():
+    n, nnz = 64, 2000
+    rows, cols, vals, x = random_problem(n, nnz, seed=1, skewed=True)
+    delegates = build_delegates(rows, cols, n, threshold=80)
+    assert delegates.count > 0
+    y, res = run_spmv(2, 2, "nlnr", rows, cols, vals, x, n, delegates=delegates)
+    assert np.allclose(y, reference_y(n, rows, cols, vals, x))
+
+
+def test_delegates_reduce_messages():
+    """Colocating delegate edges must strictly cut message volume on a
+    skewed matrix (the Fig 8a vs 8c distinction)."""
+    n, nnz = 64, 4000
+    rows, cols, vals, x = random_problem(n, nnz, seed=2, skewed=True)
+    delegates = build_delegates(rows, cols, n, threshold=50)
+    assert delegates.count > 0
+    y1, res_plain = run_spmv(2, 2, "nlnr", rows, cols, vals, x, n)
+    y2, res_del = run_spmv(2, 2, "nlnr", rows, cols, vals, x, n, delegates=delegates)
+    assert np.allclose(y1, y2)
+    assert (
+        res_del.mailbox_stats.app_messages_sent
+        < res_plain.mailbox_stats.app_messages_sent
+    )
+
+
+def test_spmv_all_delegated_sends_nothing():
+    """If every vertex is a delegate, SpMV is fully local + allreduce."""
+    n, nnz = 16, 100
+    rows, cols, vals, x = random_problem(n, nnz, seed=3)
+    delegates = DelegateSet(np.arange(n))
+    y, res = run_spmv(2, 2, "node_remote", rows, cols, vals, x, n, delegates=delegates)
+    assert np.allclose(y, reference_y(n, rows, cols, vals, x))
+    assert res.mailbox_stats.app_messages_sent == 0
+
+
+def test_spmv_empty_matrix():
+    n = 8
+    z = np.empty(0, dtype=np.int64)
+    zv = np.empty(0, dtype=np.float64)
+    x = np.ones(n)
+    y, _ = run_spmv(2, 2, "nlnr", z, z, zv, x, n)
+    assert np.allclose(y, 0.0)
+
+
+def test_spmv_duplicate_entries_summed():
+    n = 8
+    rows = np.array([3, 3, 3])
+    cols = np.array([5, 5, 5])
+    vals = np.array([1.0, 2.0, 4.0])
+    x = np.ones(n)
+    y, _ = run_spmv(2, 2, "node_local", rows, cols, vals, x, n)
+    assert y[3] == pytest.approx(7.0)
+
+
+def test_spmv_messages_counted():
+    n, nnz = 32, 256
+    rows, cols, vals, x = random_problem(n, nnz, seed=4)
+    y, res = run_spmv(2, 2, "noroute", rows, cols, vals, x, n)
+    total_msgs = sum(r.messages_sent for r in res.values)
+    total_local = sum(r.local_accumulations for r in res.values)
+    assert total_msgs + total_local == nnz
+    assert res.mailbox_stats.app_messages_sent == total_msgs

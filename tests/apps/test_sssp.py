@@ -1,0 +1,89 @@
+"""Asynchronous SSSP vs networkx Dijkstra."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro import YgmWorld
+from repro.apps.sssp import edge_weights, gather_global_sssp, make_sssp
+from repro.graph import er_stream, rmat_stream
+from repro.machine import small
+
+
+def reference_sssp(stream, nranks, source, weight_seed=0):
+    g = nx.Graph()
+    g.add_nodes_from(range(stream.num_vertices))
+    for rank in range(nranks):
+        u, v = stream.all_edges(rank)
+        w = edge_weights(u, v, weight_seed)
+        for a, b, ww in zip(u.tolist(), v.tolist(), w.tolist()):
+            # Parallel edges: keep the lighter one (min-plus semantics).
+            if g.has_edge(a, b):
+                g[a][b]["weight"] = min(g[a][b]["weight"], ww)
+            else:
+                g.add_edge(a, b, weight=ww)
+    out = np.full(stream.num_vertices, np.inf)
+    for v, d in nx.single_source_dijkstra_path_length(g, source).items():
+        out[v] = d
+    return out
+
+
+@pytest.mark.parametrize("scheme", ["noroute", "node_remote", "nlnr"])
+def test_sssp_matches_dijkstra(scheme):
+    stream = er_stream(num_vertices=80, edges_per_rank=80, seed=31)
+    world = YgmWorld(small(nodes=2, cores_per_node=2), scheme=scheme)
+    res = world.run(make_sssp(stream, source=3, batch_size=64))
+    got = gather_global_sssp(res.values, 80, 4)
+    ref = reference_sssp(stream, 4, 3)
+    assert np.allclose(got, ref, equal_nan=False)
+
+
+def test_sssp_skewed_graph():
+    stream = rmat_stream(scale=7, edges_per_rank=300, seed=32)
+    world = YgmWorld(small(nodes=2, cores_per_node=2), scheme="nlnr")
+    res = world.run(make_sssp(stream, source=0, batch_size=128))
+    got = gather_global_sssp(res.values, 128, 4)
+    ref = reference_sssp(stream, 4, 0)
+    assert np.allclose(got, ref)
+
+
+def test_sssp_unreached_are_inf():
+    stream = er_stream(num_vertices=300, edges_per_rank=20, seed=33)
+    world = YgmWorld(small(nodes=2, cores_per_node=2), scheme="node_local")
+    res = world.run(make_sssp(stream, source=0, batch_size=64))
+    got = gather_global_sssp(res.values, 300, 4)
+    ref = reference_sssp(stream, 4, 0)
+    assert np.array_equal(np.isinf(got), np.isinf(ref))
+    assert np.isinf(got).any()
+
+
+def test_sssp_distances_at_most_hops():
+    """Weights are in (0, 1], so dijkstra distance <= hop distance."""
+    from repro.apps.bfs import UNREACHED, gather_global_distances, make_bfs
+
+    stream = er_stream(num_vertices=64, edges_per_rank=100, seed=34)
+    w1 = YgmWorld(small(nodes=2, cores_per_node=2), scheme="nlnr")
+    res_s = w1.run(make_sssp(stream, source=1))
+    w2 = YgmWorld(small(nodes=2, cores_per_node=2), scheme="nlnr")
+    res_b = w2.run(make_bfs(stream, source=1))
+    d_sssp = gather_global_sssp(res_s.values, 64, 4)
+    d_bfs = gather_global_distances(res_b.values, 64, 4)
+    reached = d_bfs != UNREACHED
+    assert (d_sssp[reached] <= d_bfs[reached] + 1e-12).all()
+
+
+def test_edge_weights_deterministic_and_bounded():
+    u = np.arange(1000, dtype=np.int64)
+    v = (u * 7 + 3) % 1000
+    w1 = edge_weights(u, v, seed=5)
+    w2 = edge_weights(u, v, seed=5)
+    w3 = edge_weights(u, v, seed=6)
+    assert np.array_equal(w1, w2)
+    assert not np.array_equal(w1, w3)
+    assert (w1 > 0).all() and (w1 <= 1.0 + 2**-50).all()
+
+
+def test_sssp_source_validation():
+    stream = er_stream(num_vertices=10, edges_per_rank=5, seed=0)
+    with pytest.raises(ValueError):
+        make_sssp(stream, source=11)

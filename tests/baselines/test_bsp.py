@@ -1,0 +1,69 @@
+"""BSP alltoallv baseline: correctness + straggler coupling."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import make_bsp_degree_counting
+from repro.graph import er_stream
+from repro.machine import small
+from repro.mpi import World
+
+
+def reference_degrees(stream, nranks):
+    deg = np.zeros(stream.num_vertices, dtype=np.int64)
+    for rank in range(nranks):
+        u, v = stream.all_edges(rank)
+        deg += np.bincount(u, minlength=len(deg))
+        deg += np.bincount(v, minlength=len(deg))
+    return deg
+
+
+def gather(values, n, nranks):
+    from repro.graph import CyclicPartition
+
+    part = CyclicPartition(n, nranks)
+    out = np.zeros(n, dtype=np.int64)
+    for rank, local in enumerate(values):
+        out[part.local_vertices(rank)] = local
+    return out
+
+
+def test_bsp_degree_counting_correct():
+    stream = er_stream(num_vertices=64, edges_per_rank=500, seed=11)
+    world = World(small(nodes=2, cores_per_node=2))
+    res = world.run(make_bsp_degree_counting(stream, batch_size=128))
+    got = gather(res.values, 64, 4)
+    assert np.array_equal(got, reference_degrees(stream, 4))
+
+
+def test_bsp_handles_uneven_batch_counts():
+    """Ranks with fewer edges still participate in every superstep."""
+    # A batch size that does not divide the edge count forces a short
+    # final superstep that all ranks must still attend.
+    stream = er_stream(num_vertices=32, edges_per_rank=100, seed=12)
+    world = World(small(nodes=2, cores_per_node=2))
+    res = world.run(make_bsp_degree_counting(stream, batch_size=33))
+    got = gather(res.values, 32, 4)
+    assert np.array_equal(got, reference_degrees(stream, 4))
+
+
+def test_bsp_straggler_stalls_everyone():
+    """With one slow rank, *every* BSP rank's finish time includes the
+    straggler's delay -- the paper's core motivation for YGM."""
+    stream = er_stream(num_vertices=64, edges_per_rank=256, seed=13)
+    delay_per_step = 0.01
+
+    def skew(rank, step):
+        return delay_per_step if rank == 0 else 0.0
+
+    def timed_main(ctx):
+        yield from make_bsp_degree_counting(
+            stream, batch_size=64, compute_skew=skew
+        )(ctx)
+        return ctx.sim.now
+
+    world = World(small(nodes=2, cores_per_node=2))
+    res = world.run(timed_main)
+    steps = -(-256 // 64)
+    for finish in res.values:
+        assert finish >= steps * delay_per_step

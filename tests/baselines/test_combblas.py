@@ -1,0 +1,95 @@
+"""CombBLAS-style 2D SpMV baseline: correctness vs scipy."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.baselines import (
+    choose_grid,
+    gather_combblas_y,
+    make_combblas_spmv,
+    partition_combblas_problem,
+)
+from repro.machine import small
+from repro.mpi import World
+
+
+def reference_y(n, rows, cols, vals, x):
+    return sp.coo_matrix((vals, (rows, cols)), shape=(n, n)).tocsr() @ x
+
+
+def run_combblas(nodes, cores, n, rows, cols, vals, x, iterations=1):
+    nranks = nodes * cores
+    problems = partition_combblas_problem(nranks, n, rows, cols, vals, x)
+    world = World(small(nodes=nodes, cores_per_node=cores))
+    res = world.run(make_combblas_spmv(problems, iterations=iterations))
+    pr, pc = choose_grid(nranks)
+    return gather_combblas_y(res.values, n, pr, pc), res
+
+
+def test_choose_grid():
+    assert choose_grid(4) == (2, 2)
+    assert choose_grid(16) == (4, 4)
+    assert choose_grid(6) == (2, 3)
+    assert choose_grid(7) == (1, 7)
+    assert choose_grid(12) == (3, 4)
+
+
+@pytest.mark.parametrize("nodes,cores", [(1, 4), (2, 2), (2, 3), (4, 4), (1, 7)])
+def test_combblas_matches_scipy(nodes, cores):
+    rng = np.random.default_rng(10 * nodes + cores)
+    n, nnz = 53, 700
+    rows = rng.integers(0, n, nnz)
+    cols = rng.integers(0, n, nnz)
+    vals = rng.standard_normal(nnz)
+    x = rng.standard_normal(n)
+    y, _ = run_combblas(nodes, cores, n, rows, cols, vals, x)
+    assert np.allclose(y, reference_y(n, rows, cols, vals, x))
+
+
+def test_combblas_multiple_iterations():
+    rng = np.random.default_rng(0)
+    n, nnz = 30, 200
+    rows = rng.integers(0, n, nnz)
+    cols = rng.integers(0, n, nnz)
+    vals = rng.standard_normal(nnz)
+    x = rng.standard_normal(n)
+    y, res = run_combblas(2, 2, n, rows, cols, vals, x, iterations=3)
+    # Same x each iteration: result is the single-product value.
+    assert np.allclose(y, reference_y(n, rows, cols, vals, x))
+
+
+def test_combblas_empty_blocks_ok():
+    """A matrix confined to one block leaves other ranks' blocks empty."""
+    n = 40
+    rows = np.array([0, 1, 2])
+    cols = np.array([0, 1, 2])
+    vals = np.array([1.0, 2.0, 3.0])
+    x = np.ones(n)
+    y, _ = run_combblas(2, 2, n, rows, cols, vals, x)
+    expected = np.zeros(n)
+    expected[:3] = [1.0, 2.0, 3.0]
+    assert np.allclose(y, expected)
+
+
+def test_combblas_synchronous_coupling():
+    """2D SpMV is collective: elapsed time is bounded below by the
+    slowest rank's local work (the paper's BSP criticism)."""
+    rng = np.random.default_rng(1)
+    n, nnz = 64, 3000
+    rows = rng.integers(0, n, nnz)
+    cols = rng.integers(0, n, nnz)
+    vals = rng.standard_normal(nnz)
+    x = rng.standard_normal(n)
+    nranks = 4
+    problems = partition_combblas_problem(nranks, n, rows, cols, vals, x)
+
+    def skewed(ctx):
+        if ctx.comm.rank == 0:
+            yield ctx.compute(1.0)  # slow rank
+        result = yield from make_combblas_spmv(problems)(ctx)
+        return ctx.sim.now
+
+    world = World(small(nodes=2, cores_per_node=2))
+    res = world.run(skewed)
+    assert min(res.values) >= 1.0  # everyone waited for the straggler

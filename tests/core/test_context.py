@@ -1,0 +1,102 @@
+"""Tests for YgmWorld/YgmContext construction and results plumbing."""
+
+import pytest
+
+from repro import YgmWorld, get_scheme
+from repro.machine import bench_machine, small
+
+
+def test_world_from_int_shorthand():
+    world = YgmWorld(2, scheme="node_local", cores_per_node=3)
+    assert world.nranks == 6
+    assert world.scheme.name == "node_local"
+
+
+def test_world_with_scheme_instance():
+    cfg = small(nodes=2, cores_per_node=2)
+    scheme = get_scheme("nlnr", 2, 2)
+    world = YgmWorld(cfg, scheme=scheme)
+    assert world.scheme is scheme
+
+
+def test_world_scheme_shape_mismatch_rejected():
+    cfg = small(nodes=2, cores_per_node=2)
+    wrong = get_scheme("nlnr", 4, 4)
+    with pytest.raises(ValueError):
+        YgmWorld(cfg, scheme=wrong)
+
+
+def test_world_unknown_scheme_rejected():
+    with pytest.raises(ValueError):
+        YgmWorld(small(), scheme="warp")
+
+
+def test_context_identity_fields():
+    def rank_main(ctx):
+        yield ctx.compute(0)
+        return (ctx.rank, ctx.world_rank, ctx.node, ctx.core, ctx.nranks)
+
+    res = YgmWorld(small(nodes=2, cores_per_node=3)).run(rank_main)
+    for rank, (r, wr, node, core, nranks) in enumerate(res.values):
+        assert r == wr == rank
+        assert node == rank // 3
+        assert core == rank % 3
+        assert nranks == 6
+
+
+def test_context_rng_deterministic_and_distinct():
+    def rank_main(ctx):
+        yield ctx.compute(0)
+        return int(ctx.rng.integers(1 << 30))
+
+    res1 = YgmWorld(small(), seed=5).run(rank_main)
+    res2 = YgmWorld(small(), seed=5).run(rank_main)
+    res3 = YgmWorld(small(), seed=6).run(rank_main)
+    assert res1.values == res2.values
+    assert res1.values != res3.values
+    assert len(set(res1.values)) == len(res1.values)  # per-rank streams differ
+
+
+def test_result_finish_times_and_transport():
+    def rank_main(ctx):
+        yield ctx.compute(float(ctx.rank) * 1e-3)
+        mb = ctx.mailbox(recv=lambda m: None)
+        yield from mb.send((ctx.rank + 1) % ctx.nranks, "x")
+        yield from mb.wait_empty()
+        return None
+
+    res = YgmWorld(small(nodes=2, cores_per_node=2), scheme="node_remote").run(rank_main)
+    assert len(res.finish_times) == 4
+    assert max(res.finish_times) == pytest.approx(res.elapsed)
+    assert res.transport["remote_packets"] > 0
+    assert len(res.per_rank_stats) == 4
+    assert res.mailbox_stats.app_messages_sent == 4
+
+
+def test_multiple_mailboxes_per_rank_stats_aggregate():
+    def rank_main(ctx):
+        a = ctx.mailbox(recv=lambda m: None)
+        b = ctx.mailbox(recv=lambda m: None)
+        yield from a.send((ctx.rank + 1) % ctx.nranks, "a")
+        yield from b.send((ctx.rank + 1) % ctx.nranks, "b")
+        yield from a.wait_empty()
+        yield from b.wait_empty()
+        return None
+
+    res = YgmWorld(small(nodes=2, cores_per_node=2)).run(rank_main)
+    assert res.mailbox_stats.app_messages_sent == 8
+    assert res.mailbox_stats.app_messages_delivered == 8
+
+
+def test_mailbox_capacity_override():
+    def rank_main(ctx):
+        mb_default = ctx.mailbox(recv=lambda m: None)
+        mb_small = ctx.mailbox(recv=lambda m: None, capacity=2)
+        assert mb_small.config.capacity == 2
+        assert mb_default.config.capacity != 2
+        yield from mb_default.wait_empty()
+        yield from mb_small.wait_empty()
+        return True
+
+    res = YgmWorld(small(), mailbox_capacity=512).run(rank_main)
+    assert all(res.values)

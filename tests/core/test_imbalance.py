@@ -1,0 +1,97 @@
+"""Imbalance injection: the paper's central motivation, as tests.
+
+These check the *behavioural* claims of the abstract on the simulated
+clock: mailboxes decouple ranks from stragglers and hot receivers,
+whereas the synchronous baseline couples everyone.
+"""
+
+import numpy as np
+import pytest
+
+from repro import YgmWorld
+from repro.machine import small
+
+
+def test_compute_skew_does_not_serialize_ygm_senders():
+    """Ranks with different compute loads overlap their communication:
+    the makespan is far below the sum of loads."""
+    loads = [0.01, 0.02, 0.03, 0.04]
+
+    def rank_main(ctx):
+        mb = ctx.mailbox(recv=lambda m: None, capacity=8)
+        yield ctx.compute(loads[ctx.rank])
+        for dest in range(ctx.nranks):
+            yield from mb.send(dest, ctx.rank)
+        yield from mb.wait_empty()
+        return None
+
+    res = YgmWorld(small(nodes=2, cores_per_node=2), scheme="node_remote").run(rank_main)
+    assert res.elapsed < sum(loads) * 0.6  # overlapped, not serialized
+    assert res.elapsed >= max(loads)  # but bounded by the slowest
+
+
+def test_hot_receiver_does_not_block_unrelated_pairs():
+    """Traffic to a hot node queues at its NIC, but a pair that does not
+    involve the hot node finishes at its own pace."""
+    nbytes = 1 << 15
+
+    def rank_main(ctx):
+        got = []
+        mb = ctx.mailbox(recv=got.append, capacity=4)
+        if ctx.node >= 2 and ctx.core == 0:
+            # Remote ranks hammer rank 0 (the hot receiver).
+            for _ in range(16):
+                yield from mb.send(0, bytes(nbytes))
+        if ctx.rank == ctx.nranks - 1:
+            # Unrelated pair: last rank pings its node-mate.
+            yield from mb.send(ctx.rank - 1, "quick")
+        done_own_work = ctx.sim.now
+        yield from mb.wait_empty()
+        return (done_own_work, len(got))
+
+    res = YgmWorld(small(nodes=4, cores_per_node=2), scheme="noroute").run(rank_main)
+    hot_time, hot_count = res.values[0]
+    quick_time, _ = res.values[-1]
+    assert hot_count == 32
+    # The unrelated sender finished its own work long before the hot
+    # receiver's traffic drained.
+    assert quick_time < res.elapsed / 2
+
+
+def test_wait_empty_makespan_tracks_slowest_under_all_schemes():
+    """Safety check: no scheme terminates before the straggler's traffic
+    is delivered, whatever the imbalance."""
+    for scheme in ("noroute", "node_local", "node_remote", "nlnr"):
+
+        def rank_main(ctx):
+            got = []
+            mb = ctx.mailbox(recv=got.append)
+            if ctx.rank == 2:
+                yield ctx.compute(0.2)
+                for dest in range(ctx.nranks):
+                    yield from mb.send(dest, "straggler-data")
+            yield from mb.wait_empty()
+            return len(got)
+
+        res = YgmWorld(small(nodes=4, cores_per_node=2), scheme=scheme).run(rank_main)
+        assert res.elapsed >= 0.2
+        assert sum(res.values) == 8
+
+
+def test_idle_concentrates_on_underloaded_ranks():
+    """With a 10:1 load skew, idle time lands on the light ranks."""
+
+    def rank_main(ctx):
+        mb = ctx.mailbox(recv=lambda m: None, capacity=16)
+        work = 0.05 if ctx.rank == 0 else 0.005
+        yield ctx.compute(work)
+        for dest in range(ctx.nranks):
+            yield from mb.send(dest, "x")
+        yield from mb.wait_empty()
+        return mb.stats.idle_time
+
+    res = YgmWorld(small(nodes=2, cores_per_node=2), scheme="nlnr").run(rank_main)
+    heavy_idle = res.values[0]
+    light_idle = min(res.values[1:])
+    assert light_idle > heavy_idle
+    assert light_idle > 0.04  # waited out most of the straggler's 45ms lead

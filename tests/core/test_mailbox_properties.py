@@ -1,0 +1,148 @@
+"""Property-based tests: the mailbox delivers any traffic pattern
+exactly once, on any machine shape, under any routing scheme."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import RecordSpec, YgmWorld
+from repro.core.routing import SCHEMES
+from repro.machine import small
+
+SPEC = RecordSpec("prop", [("src", "u8"), ("seq", "u8")])
+
+
+@st.composite
+def world_and_traffic(draw):
+    nodes = draw(st.integers(1, 5))
+    cores = draw(st.integers(1, 4))
+    scheme = draw(st.sampled_from(sorted(SCHEMES)))
+    capacity = draw(st.sampled_from([1, 3, 8, 64, 4096]))
+    nranks = nodes * cores
+    # Per-rank destination lists (arbitrary multisets, self-sends included).
+    traffic = [
+        draw(st.lists(st.integers(0, nranks - 1), max_size=20)) for _ in range(nranks)
+    ]
+    return nodes, cores, scheme, capacity, traffic
+
+
+@given(world_and_traffic())
+@settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+def test_scalar_traffic_delivered_exactly_once(params):
+    nodes, cores, scheme, capacity, traffic = params
+    nranks = nodes * cores
+
+    def rank_main(ctx):
+        got = []
+        mb = ctx.mailbox(recv=got.append, capacity=capacity)
+        for seq, dest in enumerate(traffic[ctx.rank]):
+            yield from mb.send(dest, (ctx.rank, seq))
+        yield from mb.wait_empty()
+        return sorted(got)
+
+    res = YgmWorld(
+        small(nodes=nodes, cores_per_node=cores), scheme=scheme,
+        mailbox_capacity=capacity,
+    ).run(rank_main)
+
+    expected = [[] for _ in range(nranks)]
+    for src, dests in enumerate(traffic):
+        for seq, dest in enumerate(dests):
+            expected[dest].append((src, seq))
+    for rank in range(nranks):
+        assert res.values[rank] == sorted(expected[rank])
+
+
+@given(world_and_traffic())
+@settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+def test_batch_traffic_matches_scalar_semantics(params):
+    nodes, cores, scheme, capacity, traffic = params
+    nranks = nodes * cores
+
+    def rank_main(ctx):
+        got = []
+
+        def on_batch(batch):
+            got.extend((int(r["src"]), int(r["seq"])) for r in batch)
+
+        mb = ctx.mailbox(recv_batch=on_batch, capacity=capacity)
+        dests = np.array(traffic[ctx.rank], dtype=np.int64)
+        if len(dests):
+            batch = SPEC.build(
+                src=np.full(len(dests), ctx.rank, dtype="u8"),
+                seq=np.arange(len(dests), dtype="u8"),
+            )
+            yield from mb.send_batch(dests, batch, spec=SPEC)
+        yield from mb.wait_empty()
+        return sorted(got)
+
+    res = YgmWorld(
+        small(nodes=nodes, cores_per_node=cores), scheme=scheme,
+        mailbox_capacity=capacity,
+    ).run(rank_main)
+
+    expected = [[] for _ in range(nranks)]
+    for src, dests in enumerate(traffic):
+        for seq, dest in enumerate(dests):
+            expected[dest].append((src, seq))
+    for rank in range(nranks):
+        assert res.values[rank] == sorted(expected[rank])
+
+
+@given(
+    nodes=st.integers(1, 4),
+    cores=st.integers(1, 4),
+    scheme=st.sampled_from(sorted(SCHEMES)),
+    origins=st.lists(st.integers(0, 100), max_size=6),
+)
+@settings(max_examples=30, deadline=None)
+def test_broadcasts_from_arbitrary_origins(nodes, cores, scheme, origins):
+    nranks = nodes * cores
+    origins = [o % nranks for o in origins]
+
+    def rank_main(ctx):
+        got = []
+        mb = ctx.mailbox(recv=got.append)
+        for i, origin in enumerate(origins):
+            if ctx.rank == origin:
+                yield from mb.send_bcast((i, origin))
+        yield from mb.wait_empty()
+        return sorted(got)
+
+    res = YgmWorld(small(nodes=nodes, cores_per_node=cores), scheme=scheme).run(rank_main)
+    for rank in range(nranks):
+        expected = sorted(
+            (i, origin) for i, origin in enumerate(origins) if origin != rank
+        )
+        assert res.values[rank] == expected
+
+
+@given(
+    seed=st.integers(0, 2**16),
+    scheme=st.sampled_from(sorted(SCHEMES)),
+)
+@settings(max_examples=10, deadline=None)
+def test_simulated_time_reproducible(seed, scheme):
+    def rank_main(ctx):
+        mb = ctx.mailbox(recv=lambda m: None, capacity=16)
+        for _ in range(40):
+            yield from mb.send(int(ctx.rng.integers(ctx.nranks)), "p")
+        yield from mb.wait_empty()
+        return None
+
+    times = {
+        YgmWorld(small(nodes=2, cores_per_node=2), scheme=scheme, seed=seed)
+        .run(rank_main)
+        .elapsed
+        for _ in range(2)
+    }
+    assert len(times) == 1

@@ -1,0 +1,113 @@
+"""Adversarial integration: every mailbox feature in one run.
+
+Scalar sends, vectorized batches, asynchronous broadcasts, and
+callback-spawned replies are interleaved under tight capacities across
+all schemes; the accounting must balance exactly.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import RecordSpec, YgmWorld
+from repro.core.routing import SCHEMES
+from repro.machine import small
+
+SPEC = RecordSpec("mix", [("src", "u8"), ("seq", "u8")])
+
+
+@pytest.mark.parametrize("scheme", sorted(SCHEMES))
+def test_mixed_traffic_accounting(scheme):
+    nodes, cores = 3, 2
+    nranks = nodes * cores
+    n_scalar, n_batch, n_bcast = 10, 25, 2
+
+    def rank_main(ctx):
+        scalar_got, batch_got, bcast_got, echo_got = [], [], [], []
+
+        def on_recv(msg):
+            kind = msg[0]
+            if kind == "s":
+                scalar_got.append(msg)
+                mb.post(msg[1], ("echo", ctx.rank))  # reply from callback
+            else:
+                echo_got.append(msg)
+
+        def on_batch(batch):
+            batch_got.extend(map(tuple, batch.tolist()))
+
+        def on_bcast(msg):
+            bcast_got.append(msg)
+
+        mb = ctx.mailbox(
+            recv=on_recv, recv_batch=on_batch, recv_bcast=on_bcast, capacity=7
+        )
+        rng = ctx.rng
+        for i in range(n_scalar):
+            yield from mb.send(int(rng.integers(ctx.nranks)), ("s", ctx.rank, i))
+        dests = rng.integers(0, ctx.nranks, size=n_batch).astype(np.int64)
+        yield from mb.send_batch(
+            dests,
+            SPEC.build(
+                src=np.full(n_batch, ctx.rank, dtype="u8"),
+                seq=np.arange(n_batch, dtype="u8"),
+            ),
+            spec=SPEC,
+        )
+        for _ in range(n_bcast):
+            yield from mb.send_bcast(("b", ctx.rank))
+        yield from mb.wait_empty()
+        return (len(scalar_got), len(batch_got), len(bcast_got), len(echo_got))
+
+    res = YgmWorld(small(nodes=nodes, cores_per_node=cores), scheme=scheme, seed=3).run(
+        rank_main
+    )
+    scalars = sum(v[0] for v in res.values)
+    batches = sum(v[1] for v in res.values)
+    bcasts = sum(v[2] for v in res.values)
+    echoes = sum(v[3] for v in res.values)
+    assert scalars == n_scalar * nranks
+    assert batches == n_batch * nranks
+    assert bcasts == n_bcast * nranks * (nranks - 1)
+    assert echoes == scalars  # every scalar delivery produced one echo
+    s = res.mailbox_stats
+    assert s.entries_sent == s.entries_received
+
+
+@given(
+    seed=st.integers(0, 1000),
+    capacity=st.sampled_from([1, 2, 5, 17]),
+    scheme=st.sampled_from(sorted(SCHEMES)),
+)
+@settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_tiny_capacity_never_loses_replies(seed, capacity, scheme):
+    """Capacity 1 forces a flush on every message -- the most hostile
+    interleaving for the termination protocol with callback replies."""
+
+    def rank_main(ctx):
+        got = []
+
+        def on_recv(msg):
+            got.append(msg)
+            if msg[0] == "ping":
+                mb.post(msg[1], ("pong", ctx.rank))
+
+        mb = ctx.mailbox(recv=on_recv, capacity=capacity)
+        rng = ctx.rng
+        targets = [int(rng.integers(ctx.nranks)) for _ in range(4)]
+        for t in targets:
+            yield from mb.send(t, ("ping", ctx.rank))
+        yield from mb.wait_empty()
+        pings = sum(1 for m in got if m[0] == "ping")
+        pongs = sum(1 for m in got if m[0] == "pong")
+        return (pings, pongs, len(targets))
+
+    res = YgmWorld(small(nodes=2, cores_per_node=2), scheme=scheme, seed=seed).run(
+        rank_main
+    )
+    total_pings = sum(v[0] for v in res.values)
+    total_pongs = sum(v[1] for v in res.values)
+    total_sent = sum(v[2] for v in res.values)
+    assert total_pings == total_sent
+    assert total_pongs == total_pings

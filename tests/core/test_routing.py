@@ -1,0 +1,254 @@
+"""Exhaustive + property tests for the four routing schemes.
+
+These check the paper's Section III invariants directly on the pure
+routing functions: path validity, hop bounds, exchange-phase structure,
+broadcast coverage and remote-message counts, and channel cardinality.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.routing import PAPER_SCHEMES, SCHEMES, get_scheme
+from repro.machine import address
+
+SHAPES = [(2, 2), (3, 2), (2, 4), (4, 4), (8, 4), (5, 3), (12, 4), (16, 4)]
+
+
+def trace_path(scheme, src, dest):
+    """Follow next_hop from src to dest; returns the hop sequence."""
+    path = [src]
+    cur = src
+    for _ in range(scheme.max_hops() + 1):
+        if cur == dest:
+            return path
+        cur = scheme.next_hop(cur, dest)
+        assert 0 <= cur < scheme.nranks
+        path.append(cur)
+    raise AssertionError(f"{scheme.name}: no delivery {src}->{dest}: {path}")
+
+
+@pytest.mark.parametrize("name", list(SCHEMES))
+@pytest.mark.parametrize("nodes,cores", SHAPES)
+def test_all_pairs_delivered_within_hop_bound(name, nodes, cores):
+    scheme = get_scheme(name, nodes, cores)
+    for src in range(scheme.nranks):
+        for dest in range(scheme.nranks):
+            if src == dest:
+                continue
+            path = trace_path(scheme, src, dest)
+            assert path[-1] == dest
+            assert len(path) - 1 <= scheme.max_hops()
+
+
+@pytest.mark.parametrize("nodes,cores", SHAPES)
+def test_node_local_phase_structure(nodes, cores):
+    """Node Local: first hop local (to matching core offset), second remote."""
+    scheme = get_scheme("node_local", nodes, cores)
+    for src in range(scheme.nranks):
+        for dest in range(scheme.nranks):
+            if src == dest:
+                continue
+            path = trace_path(scheme, src, dest)
+            hops = list(zip(path, path[1:]))
+            if len(hops) == 2:
+                a, b = hops
+                assert address.same_node(a[0], a[1], cores), "hop 1 must be local"
+                assert not address.same_node(b[0], b[1], cores), "hop 2 must be remote"
+                # After the local hop the holder matches dest's core offset.
+                assert address.core_of(a[1], cores) == address.core_of(dest, cores)
+
+
+@pytest.mark.parametrize("nodes,cores", SHAPES)
+def test_node_remote_phase_structure(nodes, cores):
+    """Node Remote: first hop remote (keeping core offset), second local."""
+    scheme = get_scheme("node_remote", nodes, cores)
+    for src in range(scheme.nranks):
+        for dest in range(scheme.nranks):
+            if src == dest:
+                continue
+            path = trace_path(scheme, src, dest)
+            hops = list(zip(path, path[1:]))
+            if len(hops) == 2:
+                a, b = hops
+                assert not address.same_node(a[0], a[1], cores)
+                assert address.same_node(b[0], b[1], cores)
+                assert address.core_of(a[1], cores) == address.core_of(src, cores)
+                assert address.node_of(a[1], cores) == address.node_of(dest, cores)
+
+
+@pytest.mark.parametrize("nodes,cores", SHAPES)
+def test_nlnr_phase_structure(nodes, cores):
+    """NLNR: local -> remote -> local, with the paper's intermediary rule."""
+    scheme = get_scheme("nlnr", nodes, cores)
+    for src in range(scheme.nranks):
+        for dest in range(scheme.nranks):
+            if src == dest:
+                continue
+            path = trace_path(scheme, src, dest)
+            # Exactly one remote hop on any cross-node path.
+            remote_hops = [
+                (a, b) for a, b in zip(path, path[1:])
+                if not address.same_node(a, b, cores)
+            ]
+            if address.same_node(src, dest, cores):
+                assert remote_hops == []
+            else:
+                assert len(remote_hops) == 1
+                a, b = remote_hops[0]
+                # Sender-side intermediary has core offset == dest node % C;
+                # receiver-side has core offset == source node % C.
+                assert address.core_of(a, cores) == address.node_of(dest, cores) % cores
+                assert address.core_of(b, cores) == address.node_of(src, cores) % cores
+
+
+@pytest.mark.parametrize("name", list(SCHEMES))
+@pytest.mark.parametrize("nodes,cores", SHAPES)
+def test_remote_hops_only_between_partners(name, nodes, cores):
+    """Every remote hop travels along a declared remote-partner edge."""
+    scheme = get_scheme(name, nodes, cores)
+    for src in range(scheme.nranks):
+        partners = set(scheme.remote_partners(src))
+        for dest in range(scheme.nranks):
+            if src == dest:
+                continue
+            path = trace_path(scheme, src, dest)
+            for a, b in zip(path, path[1:]):
+                if not address.same_node(a, b, cores):
+                    assert b in set(scheme.remote_partners(a)), (
+                        f"{name}: remote hop {a}->{b} not in partner set"
+                    )
+
+
+@pytest.mark.parametrize("nodes,cores", SHAPES)
+def test_nlnr_partner_count_is_n_over_c(nodes, cores):
+    scheme = get_scheme("nlnr", nodes, cores)
+    counts = [scheme.remote_partner_count(r) for r in range(scheme.nranks)]
+    # ~N/C nodes per column (exact split of N-? depends on divisibility).
+    assert max(counts) <= -(-nodes // cores)  # ceil
+    assert min(counts) >= nodes // cores - 1
+
+
+@pytest.mark.parametrize("nodes,cores", SHAPES)
+def test_nl_nr_partner_count_is_n_minus_1(nodes, cores):
+    for name in ("node_local", "node_remote"):
+        scheme = get_scheme(name, nodes, cores)
+        assert all(
+            scheme.remote_partner_count(r) == nodes - 1 for r in range(scheme.nranks)
+        )
+
+
+# ----------------------------------------------------------- broadcasts
+def simulate_bcast(scheme, origin):
+    """Expand the broadcast forwarding tree; returns (copies received
+    per rank, number of remote transmissions, number of local ones)."""
+    received = np.zeros(scheme.nranks, dtype=int)
+    remote = local = 0
+    frontier = [(origin, True)]  # (holder, is_origin_injection)
+    while frontier:
+        nxt = []
+        for holder, _ in frontier:
+            for target in scheme.bcast_targets(holder, origin):
+                assert target != origin, "broadcast must not return to origin"
+                if address.same_node(holder, target, scheme.cores):
+                    local += 1
+                else:
+                    remote += 1
+                received[target] += 1
+                nxt.append((target, False))
+        frontier = nxt
+    return received, remote, local
+
+
+@pytest.mark.parametrize("name", list(SCHEMES))
+@pytest.mark.parametrize("nodes,cores", SHAPES)
+def test_bcast_reaches_everyone_exactly_once(name, nodes, cores):
+    scheme = get_scheme(name, nodes, cores)
+    for origin in range(scheme.nranks):
+        received, _, _ = simulate_bcast(scheme, origin)
+        expected = np.ones(scheme.nranks, dtype=int)
+        expected[origin] = 0
+        assert np.array_equal(received, expected), (
+            f"{name} bcast from {origin}: {received}"
+        )
+
+
+@pytest.mark.parametrize("nodes,cores", SHAPES)
+def test_bcast_remote_message_counts_match_paper(nodes, cores):
+    """Section III-C/III-D closed forms: NodeLocal uses C(N-1) remote
+    messages per broadcast; NodeRemote and NLNR use N-1."""
+    for origin in (0, nodes * cores - 1):
+        _, remote_nl, _ = simulate_bcast(get_scheme("node_local", nodes, cores), origin)
+        assert remote_nl == cores * (nodes - 1)
+        _, remote_nr, _ = simulate_bcast(get_scheme("node_remote", nodes, cores), origin)
+        assert remote_nr == nodes - 1
+        _, remote_nlnr, _ = simulate_bcast(get_scheme("nlnr", nodes, cores), origin)
+        assert remote_nlnr == nodes - 1
+        _, remote_none, _ = simulate_bcast(get_scheme("noroute", nodes, cores), origin)
+        assert remote_none == (nodes - 1) * cores
+
+
+# ---------------------------------------------------------- vectorized path
+@pytest.mark.parametrize("name", list(SCHEMES))
+@given(data=st.data())
+@settings(max_examples=25, deadline=None)
+def test_next_hop_vec_matches_scalar(name, data):
+    nodes = data.draw(st.integers(2, 12))
+    cores = data.draw(st.integers(1, 6))
+    scheme = get_scheme(name, nodes, cores)
+    cur = data.draw(st.integers(0, scheme.nranks - 1))
+    dests = data.draw(
+        st.lists(st.integers(0, scheme.nranks - 1), min_size=1, max_size=64)
+    )
+    dests = np.array([d for d in dests if d != cur], dtype=np.int64)
+    if len(dests) == 0:
+        return
+    vec = scheme.next_hop_vec(cur, dests)
+    scalar = np.array([scheme.next_hop(cur, int(d)) for d in dests])
+    assert np.array_equal(vec, scalar)
+
+
+# ---------------------------------------------------------- channels & misc
+@pytest.mark.parametrize("nodes,cores", SHAPES)
+def test_channel_counts(nodes, cores):
+    assert get_scheme("noroute", nodes, cores).channel_count() == 1
+    assert get_scheme("node_local", nodes, cores).channel_count() == cores
+    assert get_scheme("node_remote", nodes, cores).channel_count() == cores
+    assert (
+        get_scheme("nlnr", nodes, cores).channel_count()
+        == cores * (cores - 1) // 2 + cores
+    )
+
+
+def test_unknown_scheme_rejected():
+    with pytest.raises(ValueError):
+        get_scheme("teleport", 2, 2)
+
+
+def test_hybrid_nlnr_routing_identical_to_nlnr():
+    nlnr = get_scheme("nlnr", 8, 4)
+    hybrid = get_scheme("nlnr_hybrid", 8, 4)
+    assert hybrid.free_local_hops and not nlnr.free_local_hops
+    for src in range(nlnr.nranks):
+        for dest in range(nlnr.nranks):
+            if src != dest:
+                assert nlnr.next_hop(src, dest) == hybrid.next_hop(src, dest)
+
+
+def test_paper_schemes_list():
+    assert PAPER_SCHEMES == ["noroute", "node_local", "node_remote", "nlnr"]
+
+
+@pytest.mark.parametrize("name", list(SCHEMES))
+def test_average_message_fraction_ordering(name):
+    """Section III-E: per-partner share O(V/NC) < O(V/N) < O(VC/N)."""
+    nodes, cores = 16, 4
+    none = get_scheme("noroute", nodes, cores)
+    nl = get_scheme("node_local", nodes, cores)
+    nlnr = get_scheme("nlnr", nodes, cores)
+    assert (
+        none.expected_avg_message_fraction()
+        < nl.expected_avg_message_fraction()
+        < nlnr.expected_avg_message_fraction()
+    )

@@ -1,0 +1,131 @@
+"""Unit tests for the termination-detection protocol."""
+
+import pytest
+
+from repro import YgmWorld
+from repro.core.termination import (
+    TerminationDetector,
+    binomial_children,
+    binomial_parent,
+)
+from repro.machine import small
+
+
+# ----------------------------------------------------------- tree helpers
+@pytest.mark.parametrize("size", [1, 2, 3, 4, 5, 7, 8, 13, 16, 33])
+def test_binomial_tree_is_spanning(size):
+    """Every rank except 0 has exactly one parent; edges form a tree."""
+    seen = set()
+    for rank in range(size):
+        for child in binomial_children(rank, size):
+            assert child not in seen
+            seen.add(child)
+            assert binomial_parent(child) == rank
+    assert seen == set(range(1, size))
+    assert binomial_parent(0) is None
+
+
+def test_binomial_children_root():
+    assert binomial_children(0, 8) == [1, 2, 4]
+    assert binomial_children(0, 6) == [1, 2, 4]
+    assert binomial_children(4, 8) == [5, 6]
+    assert binomial_children(3, 8) == []
+
+
+def test_binomial_parent_examples():
+    assert binomial_parent(1) == 0
+    assert binomial_parent(6) == 4
+    assert binomial_parent(7) == 6
+    assert binomial_parent(12) == 8
+
+
+# ----------------------------------------------------------- protocol
+def test_detector_requires_two_equal_rounds():
+    """A single all-equal round must NOT declare termination (counter
+    reports are not causally synchronized)."""
+
+    def rank_main(ctx):
+        mb = ctx.mailbox(recv=lambda m: None)
+        yield from mb.wait_empty()
+        return mb._term.rounds_completed
+
+    res = YgmWorld(small(nodes=2, cores_per_node=2), scheme="nlnr").run(rank_main)
+    assert all(r >= 2 for r in res.values)
+
+
+def test_detector_reset_mid_protocol_rejected():
+    det = TerminationDetector(rank=0, size=2, get_counts=lambda: (0, 0), send=None)
+    with pytest.raises(RuntimeError):
+        det.reset()
+
+
+def test_detector_no_early_termination_with_inflight():
+    """Messages in flight at round time must defer termination: the
+    receiving rank's counter catches up in a later round."""
+
+    def rank_main(ctx):
+        got = []
+        mb = ctx.mailbox(recv=got.append, capacity=4)
+        if ctx.rank == 0:
+            # Enough traffic that some is in flight when rank 3 first
+            # enters wait_empty (rank 3 enters immediately).
+            for i in range(64):
+                yield from mb.send(3, i)
+        yield from mb.wait_empty()
+        return got
+
+    res = YgmWorld(small(nodes=2, cores_per_node=2), scheme="node_remote").run(rank_main)
+    assert sorted(res.values[3]) == list(range(64))
+
+
+def test_detector_counts_balance_after_termination():
+    def rank_main(ctx):
+        mb = ctx.mailbox(recv=lambda m: None, capacity=8)
+        for dest in range(ctx.nranks):
+            yield from mb.send(dest, "x")
+        yield from mb.wait_empty()
+        return (mb.stats.entries_sent, mb.stats.entries_received)
+
+    res = YgmWorld(small(nodes=3, cores_per_node=2), scheme="nlnr").run(rank_main)
+    total_sent = sum(s for s, _ in res.values)
+    total_recv = sum(r for _, r in res.values)
+    assert total_sent == total_recv > 0
+
+
+def test_detector_many_epochs():
+    """Ten wait_empty epochs in a row stay consistent (tag uniqueness)."""
+
+    def rank_main(ctx):
+        got = []
+        mb = ctx.mailbox(recv=got.append)
+        for epoch in range(10):
+            yield from mb.send((ctx.rank + 1 + epoch) % ctx.nranks, epoch)
+            yield from mb.wait_empty()
+        return len(got)
+
+    res = YgmWorld(small(nodes=2, cores_per_node=2), scheme="node_local").run(rank_main)
+    assert sum(res.values) == 40
+
+
+def test_callback_chains_do_not_terminate_early():
+    """A chain of data-dependent messages (each receive spawns the next
+    hop) must be fully drained before wait_empty returns."""
+    chain_length = 30
+
+    def rank_main(ctx):
+        log = []
+
+        def on_recv(k):
+            log.append(k)
+            if k < chain_length:
+                mb.post((ctx.rank + k) % ctx.nranks, k + 1)
+
+        mb = ctx.mailbox(recv=on_recv)
+        if ctx.rank == 0:
+            yield from mb.send(1, 1)
+        yield from mb.wait_empty()
+        return log
+
+    res = YgmWorld(small(nodes=2, cores_per_node=2), scheme="nlnr").run(rank_main)
+    all_received = sorted(sum((v for v in res.values), []))
+    assert all_received == list(range(1, chain_length + 1))

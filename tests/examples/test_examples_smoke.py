@@ -1,0 +1,57 @@
+"""Smoke tests: the example scripts run and self-verify.
+
+The heavier examples accept CLI size arguments, so they are exercised at
+reduced scale here; each example asserts its own correctness internally
+(vs bincount / networkx / scipy), so exit code 0 is a real check.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name: str, *args: str, timeout: int = 240) -> str:
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    return proc.stdout
+
+
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "OK: ring pings, pongs and broadcast all delivered." in out
+
+
+def test_quickstart_other_scheme():
+    out = run_example("quickstart.py", "node_local")
+    assert "routing scheme : node_local" in out
+
+
+def test_degree_counting_small():
+    out = run_example("degree_counting.py", "2", "2")
+    assert "identical, correct degree counts" in out
+
+
+def test_spmv_vs_combblas_small():
+    out = run_example("spmv_vs_combblas.py", "2", "2")
+    assert "match scipy" in out
+
+
+@pytest.mark.slow
+def test_connected_components_example():
+    out = run_example("connected_components.py")
+    assert "match networkx" in out
+
+
+@pytest.mark.slow
+def test_straggler_example():
+    out = run_example("straggler_tolerance.py")
+    assert "earlier" in out

@@ -1,0 +1,44 @@
+"""Unit tests for (node, core) addressing."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.machine import address
+
+
+def test_rank_roundtrip_small():
+    C = 4
+    for node in range(3):
+        for core in range(C):
+            r = address.rank_of(node, core, C)
+            assert address.addr_of(r, C) == (node, core)
+            assert address.node_of(r, C) == node
+            assert address.core_of(r, C) == core
+
+
+@given(st.integers(0, 10_000), st.integers(1, 64))
+def test_rank_roundtrip_property(rank, cores):
+    node, core = address.addr_of(rank, cores)
+    assert address.rank_of(node, core, cores) == rank
+    assert 0 <= core < cores
+
+
+def test_same_node():
+    C = 4
+    assert address.same_node(0, 3, C)
+    assert not address.same_node(3, 4, C)
+    assert address.same_node(4, 7, C)
+
+
+def test_layer_of():
+    assert address.layer_of(0, 4) == 0
+    assert address.layer_of(5, 4) == 1
+    assert address.layer_of(11, 4) == 3
+
+
+def test_validate_shape_rejects_bad():
+    with pytest.raises(ValueError):
+        address.validate_shape(0, 4)
+    with pytest.raises(ValueError):
+        address.validate_shape(4, 0)

@@ -1,0 +1,68 @@
+"""Unit tests for the network cost model (the Fig 5 substrate)."""
+
+import pytest
+
+from repro.machine import KiB, MiB, NetworkModel
+
+
+@pytest.fixture
+def net():
+    return NetworkModel()
+
+
+def test_protocol_switch_at_threshold(net):
+    assert not net.is_rendezvous(net.eager_threshold - 1)
+    assert net.is_rendezvous(net.eager_threshold)
+
+
+def test_bandwidth_monotone_within_eager_regime(net):
+    sizes = [2**k for k in range(0, 14)]  # 1B .. 8KiB
+    bws = [net.bandwidth(s) for s in sizes]
+    assert all(b2 > b1 for b1, b2 in zip(bws, bws[1:]))
+
+
+def test_rendezvous_dip_at_threshold(net):
+    """The paper's Fig 5 shows a downward jump at the 16 KiB switch."""
+    below = net.bandwidth(net.eager_threshold - 1)
+    at = net.bandwidth(net.eager_threshold)
+    assert at < below
+
+
+def test_bandwidth_recovers_past_dip(net):
+    """Past the dip, rendezvous eventually beats the best eager bandwidth."""
+    best_eager = net.bandwidth(net.eager_threshold - 1)
+    big = net.bandwidth(16 * MiB)
+    assert big > best_eager
+
+
+def test_bandwidth_plateau(net):
+    """Large-message bandwidth approaches the rendezvous wire rate / 2
+    (the model charges both NICs sequentially)."""
+    bw = net.bandwidth(64 * MiB)
+    plateau = net.rendezvous_rate / 2
+    assert bw == pytest.approx(plateau, rel=0.01)
+
+
+def test_local_cheaper_than_remote(net):
+    """Section III: local communication is bit-for-bit cheaper."""
+    for size in (1, 64, 4 * KiB, 1 * MiB):
+        assert net.local_time(size) < net.remote_time_uncontended(size)
+
+
+def test_nic_time_has_per_packet_floor(net):
+    assert net.nic_time(0) == pytest.approx(net.nic_gap)
+    assert net.nic_time(1) > net.nic_gap
+
+
+def test_overrides_are_copies(net):
+    fast = net.with_overrides(latency=1e-9)
+    assert fast.latency == 1e-9
+    assert net.latency != 1e-9
+    assert fast.eager_rate == net.eager_rate
+
+
+def test_remote_delay_includes_handshake(net):
+    small = net.remote_delay(net.eager_threshold - 1)
+    large = net.remote_delay(net.eager_threshold)
+    assert large > small
+    assert small == pytest.approx(net.latency)

@@ -1,0 +1,122 @@
+"""Unit tests for the Machine transport paths and NIC contention."""
+
+import pytest
+
+from repro.machine import Machine, small
+from repro.sim import Simulator
+
+
+def make_machine(nodes=2, cores=2, **net_overrides):
+    sim = Simulator()
+    cfg = small(nodes=nodes, cores_per_node=cores, **net_overrides)
+    return sim, Machine(sim, cfg)
+
+
+def test_shape_helpers():
+    sim, m = make_machine(nodes=3, cores=4)
+    assert m.nranks == 12
+    assert m.node_of(5) == 1
+    assert m.core_of(5) == 1
+    assert m.rank_of(2, 3) == 11
+    assert m.same_node(4, 7)
+    assert not m.same_node(3, 4)
+
+
+def test_local_transmit_delivers_and_charges_sender():
+    sim, m = make_machine()
+    delivered = []
+
+    def sender(sim):
+        yield from m.transmit(0, 1, 1024, "pkt", delivered.append)
+
+    p = sim.process(sender(sim))
+    sim.run_until_complete(p)
+    assert delivered == ["pkt"]
+    assert sim.now == pytest.approx(m.config.net.local_time(1024))
+    assert m.local_packets == 1
+    assert m.remote_packets == 0
+
+
+def test_remote_transmit_delivers_after_full_path():
+    sim, m = make_machine()
+    net = m.config.net
+    delivered_at = []
+
+    def sender(sim):
+        yield from m.transmit(0, 2, 4096, "pkt", lambda p: delivered_at.append(sim.now))
+
+    p = sim.process(sender(sim))
+    sim.run()
+    expected = net.remote_time_uncontended(4096)
+    assert delivered_at[0] == pytest.approx(expected)
+    assert m.remote_packets == 1
+    assert m.remote_bytes == 4096
+
+
+def test_sender_returns_before_delivery():
+    """Buffered-send semantics: the sender regains its core after the
+    source-side costs, while the packet is still in flight."""
+    sim, m = make_machine()
+    net = m.config.net
+    sender_done = []
+
+    def sender(sim):
+        yield from m.transmit(0, 2, 4096, "pkt", lambda p: None)
+        sender_done.append(sim.now)
+
+    p = sim.process(sender(sim))
+    sim.run()
+    source_side = net.send_overhead + net.nic_time(4096)
+    assert sender_done[0] == pytest.approx(source_side)
+    assert sender_done[0] < net.remote_time_uncontended(4096)
+
+
+def test_tx_nic_serializes_cores_of_same_node():
+    """Two cores on one node sending remotely share the TX NIC."""
+    sim, m = make_machine(nodes=2, cores=2)
+    net = m.config.net
+    done = []
+
+    def sender(sim, src):
+        yield from m.transmit(src, 2, 8192, "pkt", lambda p: None)
+        done.append(sim.now)
+
+    for src in (0, 1):
+        sim.process(sender(sim, src))
+    sim.run()
+    t_nic = net.nic_time(8192)
+    # Second sender's NIC hold starts only after the first completes.
+    assert max(done) >= net.send_overhead + 2 * t_nic
+
+
+def test_rx_nic_creates_hotspot_queueing():
+    """Many nodes sending to one node queue at its RX NIC."""
+    sim, m = make_machine(nodes=5, cores=1)
+    net = m.config.net
+    delivered_at = []
+
+    def sender(sim, src):
+        yield from m.transmit(src, 0, 8192, src, lambda p: delivered_at.append(sim.now))
+
+    for src in range(1, 5):
+        sim.process(sender(sim, src))
+    sim.run()
+    # All four packets serialize through node 0's RX NIC.
+    span = max(delivered_at) - min(delivered_at)
+    assert span >= 3 * net.nic_time(8192) * 0.99
+
+
+def test_nic_utilisation_report():
+    sim, m = make_machine()
+
+    def sender(sim):
+        yield from m.transmit(0, 2, 1000, "a", lambda p: None)
+        yield from m.transmit(0, 1, 1000, "b", lambda p: None)
+
+    p = sim.process(sender(sim))
+    sim.run()
+    util = m.nic_utilisation()
+    assert util["remote_packets"] == 1
+    assert util["local_packets"] == 1
+    assert util["tx_busy"] > 0
+    assert util["rx_busy"] > 0

@@ -1,0 +1,214 @@
+"""Collective correctness on assorted (including non-power-of-two) sizes."""
+
+import operator
+
+import numpy as np
+import pytest
+
+from repro.machine import small
+from repro.mpi import World
+
+
+SHAPES = [(1, 1), (1, 3), (2, 2), (3, 2), (2, 5), (5, 3)]
+
+
+def run_world(rank_main, nodes, cores, seed=0):
+    world = World(small(nodes=nodes, cores_per_node=cores), seed=seed)
+    return world.run(rank_main)
+
+
+@pytest.mark.parametrize("nodes,cores", SHAPES)
+def test_bcast_all_roots(nodes, cores):
+    size = nodes * cores
+
+    for root in {0, size // 2, size - 1}:
+
+        def main(ctx, root=root):
+            value = f"payload-{root}" if ctx.rank == root else None
+            out = yield from ctx.comm.bcast(value, root=root)
+            return out
+
+        res = run_world(main, nodes, cores)
+        assert res.values == [f"payload-{root}"] * size
+
+
+@pytest.mark.parametrize("nodes,cores", SHAPES)
+def test_reduce_sum(nodes, cores):
+    size = nodes * cores
+
+    def main(ctx):
+        out = yield from ctx.comm.reduce(ctx.rank, operator.add, root=0)
+        return out
+
+    res = run_world(main, nodes, cores)
+    assert res.values[0] == sum(range(size))
+    assert all(v is None for v in res.values[1:])
+
+
+@pytest.mark.parametrize("nodes,cores", SHAPES)
+def test_allreduce_min(nodes, cores):
+    def main(ctx):
+        out = yield from ctx.comm.allreduce(100 - ctx.rank, min)
+        return out
+
+    size = nodes * cores
+    res = run_world(main, nodes, cores)
+    assert res.values == [100 - (size - 1)] * size
+
+
+@pytest.mark.parametrize("nodes,cores", SHAPES)
+def test_gather_and_allgather(nodes, cores):
+    size = nodes * cores
+
+    def main(ctx):
+        g = yield from ctx.comm.gather(ctx.rank * 2, root=0)
+        ag = yield from ctx.comm.allgather(ctx.rank)
+        return (g, ag)
+
+    res = run_world(main, nodes, cores)
+    g0, ag0 = res.values[0]
+    assert g0 == [2 * r for r in range(size)]
+    for g, ag in res.values:
+        assert ag == list(range(size))
+    assert all(g is None for g, _ in res.values[1:])
+
+
+@pytest.mark.parametrize("nodes,cores", SHAPES)
+def test_scatter(nodes, cores):
+    size = nodes * cores
+
+    def main(ctx):
+        values = [f"v{i}" for i in range(size)] if ctx.rank == 0 else None
+        out = yield from ctx.comm.scatter(values, root=0)
+        return out
+
+    res = run_world(main, nodes, cores)
+    assert res.values == [f"v{i}" for i in range(size)]
+
+
+@pytest.mark.parametrize("nodes,cores", SHAPES)
+def test_alltoallv(nodes, cores):
+    size = nodes * cores
+
+    def main(ctx):
+        outgoing = [(ctx.rank, dst) for dst in range(size)]
+        incoming = yield from ctx.comm.alltoallv(outgoing)
+        return incoming
+
+    res = run_world(main, nodes, cores)
+    for rank, incoming in enumerate(res.values):
+        assert incoming == [(src, rank) for src in range(size)]
+
+
+@pytest.mark.parametrize("nodes,cores", [(2, 2), (3, 2)])
+def test_reduce_scatter(nodes, cores):
+    size = nodes * cores
+
+    def main(ctx):
+        values = [ctx.rank * 10 + i for i in range(size)]
+        mine = yield from ctx.comm.reduce_scatter(values, operator.add)
+        return mine
+
+    res = run_world(main, nodes, cores)
+    for i, got in enumerate(res.values):
+        expected = sum(r * 10 + i for r in range(size))
+        assert got == expected
+
+
+def test_barrier_synchronises():
+    def main(ctx):
+        # Stagger arrival; everyone leaves the barrier no earlier than the
+        # slowest entrant.
+        yield ctx.compute(float(ctx.rank))
+        yield from ctx.comm.barrier()
+        return ctx.sim.now
+
+    res = run_world(main, 2, 2)
+    slowest_entry = 3.0
+    assert all(t >= slowest_entry for t in res.values)
+
+
+def test_successive_collectives_do_not_cross_match():
+    def main(ctx):
+        a = yield from ctx.comm.allreduce(1, operator.add)
+        b = yield from ctx.comm.allreduce(10, operator.add)
+        c = yield from ctx.comm.allgather(ctx.rank)
+        return (a, b, c)
+
+    res = run_world(main, 2, 3)
+    for a, b, c in res.values:
+        assert a == 6
+        assert b == 60
+        assert c == list(range(6))
+
+
+def test_comm_split_by_node():
+    def main(ctx):
+        sub = yield from ctx.comm.split(color=ctx.node)
+        total = yield from sub.allreduce(ctx.rank, operator.add)
+        members = yield from sub.allgather(ctx.rank)
+        return (sub.rank, sub.size, total, members)
+
+    res = run_world(main, 2, 3)
+    for rank, (sub_rank, sub_size, total, members) in enumerate(res.values):
+        node = rank // 3
+        assert sub_size == 3
+        assert sub_rank == rank % 3
+        assert total == sum(range(node * 3, node * 3 + 3))
+        assert members == [node * 3 + i for i in range(3)]
+
+
+def test_comm_split_undefined_color():
+    def main(ctx):
+        color = None if ctx.rank == 0 else 1
+        sub = yield from ctx.comm.split(color=color)
+        if sub is None:
+            return None
+        out = yield from sub.allgather(ctx.rank)
+        return out
+
+    res = run_world(main, 2, 2)
+    assert res.values[0] is None
+    for v in res.values[1:]:
+        assert v == [1, 2, 3]
+
+
+def test_split_subcomm_isolated_from_parent():
+    """Concurrent traffic on parent and child comms must not cross-match."""
+
+    def main(ctx):
+        sub = yield from ctx.comm.split(color=ctx.node)
+        # Parent-comm p2p and sub-comm collective interleaved.
+        if ctx.rank == 0:
+            yield from ctx.comm.send(3, "cross-node", tag=1)
+        total = yield from sub.allreduce(1, operator.add)
+        if ctx.rank == 3:
+            msg = yield from ctx.comm.recv(source=0, tag=1)
+            return (total, msg.payload)
+        return (total, None)
+
+    res = run_world(main, 2, 2)
+    assert res.values[3] == (2, "cross-node")
+    assert [v[0] for v in res.values] == [2, 2, 2, 2]
+
+
+def test_dup_gives_fresh_context():
+    def main(ctx):
+        dup = yield from ctx.comm.dup()
+        assert dup.ctx != ctx.comm.ctx
+        out = yield from dup.allreduce(ctx.rank, operator.add)
+        return out
+
+    res = run_world(main, 2, 2)
+    assert res.values == [6, 6, 6, 6]
+
+
+def test_numpy_allreduce():
+    def main(ctx):
+        arr = np.full(4, ctx.rank, dtype="f8")
+        out = yield from ctx.comm.allreduce(arr, lambda a, b: a + b)
+        return out
+
+    res = run_world(main, 2, 2)
+    for out in res.values:
+        assert np.array_equal(out, np.full(4, 6.0))

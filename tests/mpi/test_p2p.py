@@ -1,0 +1,199 @@
+"""Point-to-point semantics of the simulated MPI layer."""
+
+import numpy as np
+import pytest
+
+from repro.machine import small
+from repro.mpi import ANY_SOURCE, ANY_TAG, World, waitall
+
+
+def run_world(rank_main, nodes=2, cores=2, seed=0):
+    world = World(small(nodes=nodes, cores_per_node=cores), seed=seed)
+    return world.run(rank_main)
+
+
+def test_send_recv_pair():
+    def main(ctx):
+        if ctx.rank == 0:
+            yield from ctx.comm.send(1, {"a": 7}, tag=11)
+            return "sent"
+        elif ctx.rank == 1:
+            msg = yield from ctx.comm.recv(source=0, tag=11)
+            return msg.payload
+        return None
+
+    res = run_world(main)
+    assert res.values[0] == "sent"
+    assert res.values[1] == {"a": 7}
+    assert res.elapsed > 0
+
+
+def test_recv_reports_source_and_tag():
+    def main(ctx):
+        if ctx.rank == 2:
+            yield from ctx.comm.send(0, "hello", tag="greets")
+        elif ctx.rank == 0:
+            msg = yield from ctx.comm.recv()
+            return (msg.source, msg.tag, msg.payload)
+        return None
+        yield  # pragma: no cover
+
+    res = run_world(main)
+    assert res.values[0] == (2, "greets", "hello")
+
+
+def test_tag_matching_out_of_order():
+    """A receive for tag B must not consume an earlier tag-A message."""
+
+    def main(ctx):
+        if ctx.rank == 0:
+            yield from ctx.comm.send(1, "first", tag="A")
+            yield from ctx.comm.send(1, "second", tag="B")
+        elif ctx.rank == 1:
+            b = yield from ctx.comm.recv(source=0, tag="B")
+            a = yield from ctx.comm.recv(source=0, tag="A")
+            return (a.payload, b.payload)
+        return None
+
+    res = run_world(main)
+    assert res.values[1] == ("first", "second")
+
+
+def test_source_matching():
+    def main(ctx):
+        if ctx.rank in (1, 2):
+            yield from ctx.comm.send(0, f"from{ctx.rank}", tag=0)
+        elif ctx.rank == 0:
+            m2 = yield from ctx.comm.recv(source=2)
+            m1 = yield from ctx.comm.recv(source=1)
+            return (m1.payload, m2.payload)
+        return None
+
+    res = run_world(main)
+    assert res.values[0] == ("from1", "from2")
+
+
+def test_wildcard_receive_gets_both():
+    def main(ctx):
+        if ctx.rank in (1, 2, 3):
+            yield from ctx.comm.send(0, ctx.rank)
+        elif ctx.rank == 0:
+            got = []
+            for _ in range(3):
+                msg = yield from ctx.comm.recv(source=ANY_SOURCE, tag=ANY_TAG)
+                got.append(msg.payload)
+            return sorted(got)
+        return None
+
+    res = run_world(main)
+    assert res.values[0] == [1, 2, 3]
+
+
+def test_pairwise_fifo_ordering():
+    """Messages between one pair with one tag arrive in send order."""
+
+    def main(ctx):
+        if ctx.rank == 0:
+            for i in range(20):
+                yield from ctx.comm.send(3, i, tag=0)
+        elif ctx.rank == 3:
+            got = []
+            for _ in range(20):
+                msg = yield from ctx.comm.recv(source=0, tag=0)
+                got.append(msg.payload)
+            return got
+        return None
+
+    res = run_world(main)
+    assert res.values[3] == list(range(20))
+
+
+def test_isend_irecv():
+    def main(ctx):
+        if ctx.rank == 0:
+            reqs = [ctx.comm.isend(1, i, tag=i) for i in range(4)]
+            yield from waitall(reqs)
+        elif ctx.rank == 1:
+            reqs = [ctx.comm.irecv(source=0, tag=i) for i in range(4)]
+            msgs = yield from waitall(reqs)
+            return [m.payload for m in msgs]
+        return None
+
+    res = run_world(main)
+    assert res.values[1] == [0, 1, 2, 3]
+
+
+def test_numpy_payload_copied_not_aliased():
+    def main(ctx):
+        if ctx.rank == 0:
+            arr = np.arange(4)
+            yield from ctx.comm.send(1, arr)
+            arr[:] = -1  # mutate after send: receiver must not see this
+        elif ctx.rank == 1:
+            msg = yield from ctx.comm.recv(source=0)
+            return list(msg.payload)
+        return None
+
+    res = run_world(main)
+    assert res.values[1] == [0, 1, 2, 3]
+
+
+def test_self_send():
+    def main(ctx):
+        if ctx.rank == 0:
+            yield from ctx.comm.send(0, "me")
+            msg = yield from ctx.comm.recv(source=0)
+            return msg.payload
+        return None
+        yield  # pragma: no cover
+
+    res = run_world(main)
+    assert res.values[0] == "me"
+
+
+def test_local_faster_than_remote():
+    """Same payload: on-node delivery completes sooner than off-node."""
+
+    def main(ctx):
+        if ctx.rank == 0:
+            yield from ctx.comm.send(1, b"x" * 4096)  # local (same node)
+            yield from ctx.comm.send(2, b"x" * 4096)  # remote
+        elif ctx.rank in (1, 2):
+            msg = yield from ctx.comm.recv(source=0)
+            return ctx.sim.now
+        return None
+
+    res = run_world(main)
+    # Rank 1 (local) got it before rank 2 (remote) despite being sent first.
+    assert res.values[1] < res.values[2]
+
+
+def test_probe():
+    def main(ctx):
+        if ctx.rank == 0:
+            yield from ctx.comm.send(1, "probe-me", tag=9)
+        elif ctx.rank == 1:
+            yield ctx.compute(1.0)  # let the message arrive
+            assert ctx.comm.probe(tag=9) is not None
+            assert ctx.comm.probe(tag=10) is None
+            msg = yield from ctx.comm.recv(tag=9)
+            return msg.payload
+        return None
+
+    res = run_world(main)
+    assert res.values[1] == "probe-me"
+
+
+def test_message_nbytes_includes_header():
+    from repro.mpi import HEADER_BYTES
+
+    def main(ctx):
+        if ctx.rank == 0:
+            yield from ctx.comm.send(1, np.zeros(10, dtype="u8"))
+        elif ctx.rank == 1:
+            msg = yield from ctx.comm.recv()
+            return msg.nbytes
+        return None
+
+    res = run_world(main)
+    assert res.values[1] == 80 + HEADER_BYTES

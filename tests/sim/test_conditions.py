@@ -1,0 +1,130 @@
+"""Tests for AnyOf/AllOf condition events."""
+
+import pytest
+
+from repro.sim import Simulator
+
+
+def test_any_of_first_wins():
+    sim = Simulator()
+
+    def proc(sim):
+        fast = sim.timeout(1, value="fast")
+        slow = sim.timeout(5, value="slow")
+        yield sim.any_of([fast, slow])
+        return (fast.triggered, slow.triggered, sim.now)
+
+    p = sim.process(proc(sim))
+    sim.run_until_complete(p)
+    fast_done, slow_done, t = p.value
+    assert fast_done and not slow_done
+    assert t == pytest.approx(1)
+
+
+def test_any_of_with_already_triggered_child():
+    sim = Simulator()
+
+    def proc(sim):
+        ev = sim.event()
+        ev.succeed("ready")
+        yield sim.any_of([ev, sim.timeout(10)])
+        return sim.now
+
+    p = sim.process(proc(sim))
+    sim.run_until_complete(p)
+    assert p.value == 0
+
+
+def test_any_of_empty_list_fires_immediately():
+    sim = Simulator()
+
+    def proc(sim):
+        yield sim.any_of([])
+        return "ok"
+
+    p = sim.process(proc(sim))
+    sim.run_until_complete(p)
+    assert p.value == "ok"
+
+
+def test_all_of_waits_for_every_child():
+    sim = Simulator()
+
+    def proc(sim):
+        evs = [sim.timeout(d, value=d) for d in (3, 1, 2)]
+        values = yield sim.all_of(evs)
+        return (values, sim.now)
+
+    p = sim.process(proc(sim))
+    sim.run_until_complete(p)
+    values, t = p.value
+    assert values == [3, 1, 2]  # input order preserved
+    assert t == pytest.approx(3)
+
+
+def test_all_of_all_already_triggered():
+    sim = Simulator()
+
+    def proc(sim):
+        a, b = sim.event(), sim.event()
+        a.succeed(1)
+        b.succeed(2)
+        values = yield sim.all_of([a, b])
+        return values
+
+    p = sim.process(proc(sim))
+    sim.run_until_complete(p)
+    assert p.value == [1, 2]
+
+
+def test_all_of_failure_propagates():
+    sim = Simulator()
+
+    class Boom(Exception):
+        pass
+
+    def proc(sim):
+        good = sim.timeout(1)
+        bad = sim.event()
+        cond = sim.all_of([good, bad])
+        bad.fail(Boom())
+        with pytest.raises(Boom):
+            yield cond
+        return "caught"
+
+    p = sim.process(proc(sim))
+    sim.run_until_complete(p)
+    assert p.value == "caught"
+
+
+def test_any_of_failure_propagates():
+    sim = Simulator()
+
+    class Boom(Exception):
+        pass
+
+    def proc(sim):
+        bad = sim.event()
+        cond = sim.any_of([bad, sim.timeout(10)])
+        bad.fail(Boom())
+        with pytest.raises(Boom):
+            yield cond
+        return "caught"
+
+    p = sim.process(proc(sim))
+    sim.run_until_complete(p)
+    assert p.value == "caught"
+
+
+def test_nested_conditions():
+    sim = Simulator()
+
+    def proc(sim):
+        inner = sim.all_of([sim.timeout(1), sim.timeout(2)])
+        outer = sim.any_of([inner, sim.timeout(10)])
+        yield outer
+        return sim.now
+
+    p = sim.process(proc(sim))
+    sim.run_until_complete(p)
+    assert p.value == pytest.approx(2)

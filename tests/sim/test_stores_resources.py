@@ -1,0 +1,215 @@
+"""Unit tests for Store (cancellable gets) and Resource (FIFO server)."""
+
+import pytest
+
+from repro.sim import EventStateError, Resource, Simulator, Store
+
+
+# ---------------------------------------------------------------- stores
+def test_store_put_then_get():
+    sim = Simulator()
+    store = Store(sim)
+
+    def proc(sim):
+        item = yield store.get()
+        return item
+
+    store.put("hello")
+    p = sim.process(proc(sim))
+    sim.run()
+    assert p.value == "hello"
+
+
+def test_store_get_blocks_until_put():
+    sim = Simulator()
+    store = Store(sim)
+
+    def getter(sim):
+        item = yield store.get()
+        return (item, sim.now)
+
+    def putter(sim):
+        yield sim.timeout(5)
+        store.put("late")
+
+    p = sim.process(getter(sim))
+    sim.process(putter(sim))
+    sim.run()
+    assert p.value == ("late", 5)
+
+
+def test_store_fifo_ordering_items_and_getters():
+    sim = Simulator()
+    store = Store(sim)
+    results = []
+
+    def getter(sim, label):
+        item = yield store.get()
+        results.append((label, item))
+
+    for label in "ab":
+        sim.process(getter(sim, label))
+
+    def putter(sim):
+        yield sim.timeout(1)
+        store.put(1)
+        store.put(2)
+
+    sim.process(putter(sim))
+    sim.run()
+    assert results == [("a", 1), ("b", 2)]
+
+
+def test_store_try_get_and_len():
+    sim = Simulator()
+    store = Store(sim)
+    assert store.try_get() is None
+    store.put(7)
+    assert len(store) == 1
+    assert store.try_get() == 7
+    assert len(store) == 0
+
+
+def test_store_drain():
+    sim = Simulator()
+    store = Store(sim)
+    for i in range(4):
+        store.put(i)
+    assert store.drain() == [0, 1, 2, 3]
+    assert len(store) == 0
+
+
+def test_cancelled_get_does_not_steal_items():
+    sim = Simulator()
+    store = Store(sim)
+    got = []
+
+    def canceller(sim):
+        g = store.get()
+        t = sim.timeout(1)
+        yield sim.any_of([g, t])
+        assert not g.triggered
+        g.cancel()
+
+    def getter(sim):
+        yield sim.timeout(0.5)  # posted after canceller's get
+        item = yield store.get()
+        got.append(item)
+
+    def putter(sim):
+        yield sim.timeout(2)
+        store.put("only")
+
+    sim.process(canceller(sim))
+    sim.process(getter(sim))
+    sim.process(putter(sim))
+    sim.run()
+    assert got == ["only"]
+
+
+def test_cancel_triggered_get_raises():
+    sim = Simulator()
+    store = Store(sim)
+    store.put(1)
+    g = store.get()
+    assert g.triggered
+    with pytest.raises(EventStateError):
+        g.cancel()
+
+
+def test_any_of_both_children_usable():
+    sim = Simulator()
+    a, b = Store(sim), Store(sim)
+    seen = []
+
+    def proc(sim):
+        ga, gb = a.get(), b.get()
+        yield sim.any_of([ga, gb])
+        for g in (ga, gb):
+            if g.triggered:
+                seen.append(g.value)
+            else:
+                g.cancel()
+
+    a.put("A")
+    b.put("B")
+    sim.process(proc(sim))
+    sim.run()
+    # Both were already available: both trigger.
+    assert sorted(seen) == ["A", "B"]
+
+
+# ------------------------------------------------------------- resources
+def test_resource_serializes_holds():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    spans = []
+
+    def user(sim, label):
+        start = sim.now
+        yield from res.timed(1.0)
+        spans.append((label, start, sim.now))
+
+    for label in "abc":
+        sim.process(user(sim, label))
+    sim.run()
+    # Total serialized time = 3 holds of 1s each.
+    assert sim.now == pytest.approx(3.0)
+    ends = [end for (_, _, end) in spans]
+    assert ends == [1.0, 2.0, 3.0]
+
+
+def test_resource_capacity_two_runs_pairs_concurrently():
+    sim = Simulator()
+    res = Resource(sim, capacity=2)
+
+    def user(sim):
+        yield from res.timed(1.0)
+
+    procs = [sim.process(user(sim)) for _ in range(4)]
+    sim.run_until_complete(*procs)
+    assert sim.now == pytest.approx(2.0)
+
+
+def test_resource_fifo_grant_order():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    order = []
+
+    def user(sim, label, delay):
+        yield sim.timeout(delay)
+        yield from res.timed(1.0)
+        order.append(label)
+
+    sim.process(user(sim, "first", 0.0))
+    sim.process(user(sim, "second", 0.1))
+    sim.process(user(sim, "third", 0.2))
+    sim.run()
+    assert order == ["first", "second", "third"]
+
+
+def test_resource_release_when_idle_raises():
+    sim = Simulator()
+    res = Resource(sim)
+    with pytest.raises(RuntimeError):
+        res.release()
+
+
+def test_resource_utilisation_counters():
+    sim = Simulator()
+    res = Resource(sim)
+
+    def user(sim):
+        yield from res.timed(2.0)
+        yield from res.timed(3.0)
+
+    p = sim.process(user(sim))
+    sim.run_until_complete(p)
+    assert res.busy_time == pytest.approx(5.0)
+    assert res.holds == 2
+
+
+def test_resource_bad_capacity():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        Resource(sim, capacity=0)
