@@ -1,9 +1,17 @@
-"""Command-line figure harness: ``python -m repro.bench --fig 6a``.
+"""Command-line figure harness: ``python -m repro.bench fig6``.
 
 Regenerates any of the paper's figures (as text tables) or the ablation
-studies.  ``--full`` uses the larger sweep (more nodes, 8 cores/node);
+studies.  Figures can be given positionally (``fig6``, ``6a``) or via
+``--fig``; ``--full`` uses the larger sweep (more nodes, 8 cores/node);
 the default quick sweep finishes each figure in seconds to a couple of
 minutes.
+
+``--trace out.json`` / ``--metrics out.csv`` switch to the traced
+single-run mode (see :mod:`repro.bench.tracing`): one representative
+configuration of the first requested figure runs with the observability
+layer enabled, emitting a Chrome ``trace_event`` timeline (one lane per
+rank plus NIC lanes; load in chrome://tracing or Perfetto) and a
+per-interval metrics table.
 """
 
 from __future__ import annotations
@@ -51,10 +59,44 @@ def run_figure(fig: str, sweep: SweepConfig, quick: bool):
     raise ValueError(f"unknown figure {fig!r}")
 
 
+def expand_figs(figs: List[str]) -> List[str]:
+    """Normalize figure ids: strip a ``fig`` prefix, expand groups.
+
+    ``fig6`` / ``6`` expand to every figure panel starting with ``6``;
+    ``all`` / ``ablations`` expand to their full lists.
+    """
+    known = FIGS + ["8b"] + ABLATIONS
+    expanded: List[str] = []
+    for raw in figs:
+        f = raw.lower()
+        if f.startswith("fig"):
+            f = f[3:]
+        if f == "all":
+            expanded.extend(FIGS)
+        elif f == "ablations":
+            expanded.extend(ABLATIONS)
+        elif f in known:
+            expanded.append(f)
+        else:
+            panels = [k for k in FIGS if k.startswith(f)]
+            if not panels:
+                raise ValueError(
+                    f"unknown figure {raw!r}; known: {known + ['all', 'ablations']}"
+                )
+            expanded.extend(panels)
+    return expanded
+
+
 def main(argv: List[str] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-bench",
         description="Regenerate the paper's figures on the simulated machine.",
+    )
+    parser.add_argument(
+        "figs_pos",
+        nargs="*",
+        metavar="FIG",
+        help="figure ids, e.g. fig6, 6a, capacity ('all', 'ablations' expand)",
     )
     parser.add_argument(
         "--fig",
@@ -68,17 +110,32 @@ def main(argv: List[str] = None) -> int:
         "--full", action="store_true", help="larger sweep (slower, cleaner asymptotics)"
     )
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        help="traced mode: write a Chrome trace_event JSON timeline of one "
+        "representative configuration of the first requested figure",
+    )
+    parser.add_argument(
+        "--metrics",
+        metavar="PATH",
+        help="traced mode: write the per-interval metrics table (CSV)",
+    )
+    parser.add_argument(
+        "--metrics-interval",
+        type=float,
+        default=None,
+        help="metrics bucket width in simulated seconds (default: run/50)",
+    )
     args = parser.parse_args(argv)
 
-    figs = args.figs or ["all"]
-    expanded: List[str] = []
-    for f in figs:
-        if f == "all":
-            expanded.extend(FIGS)
-        elif f == "ablations":
-            expanded.extend(ABLATIONS)
-        else:
-            expanded.append(f)
+    figs = (args.figs or []) + args.figs_pos
+    if not figs:
+        figs = ["all"]
+    try:
+        expanded = expand_figs(figs)
+    except ValueError as exc:
+        parser.error(str(exc))
 
     sweep = SweepConfig.full() if args.full else SweepConfig.quick()
     if args.seed != sweep.seed:
@@ -88,6 +145,33 @@ def main(argv: List[str] = None) -> int:
             mailbox_capacity=sweep.mailbox_capacity,
             seed=args.seed,
         )
+
+    if args.trace or args.metrics:
+        from .tracing import run_traced
+
+        # Fail fast on unwritable output paths -- before the simulation.
+        for path in (args.trace, args.metrics):
+            if path:
+                try:
+                    with open(path, "a"):
+                        pass
+                except OSError as exc:
+                    parser.error(f"cannot write {path}: {exc}")
+        start = time.perf_counter()
+        try:
+            table = run_traced(
+                expanded[0],
+                sweep,
+                trace_path=args.trace,
+                metrics_path=args.metrics,
+                metrics_interval=args.metrics_interval,
+            )
+        except (ValueError, OSError) as exc:
+            parser.error(str(exc))
+        wall = time.perf_counter() - start
+        print(table.render())
+        print(f"# harness wall-clock: {wall:.1f}s")
+        return 0
 
     for fig in expanded:
         start = time.perf_counter()

@@ -65,9 +65,12 @@ def run_ygm(
     scheme: str,
     capacity: int,
     seed: int = 0,
+    tracer=None,
 ) -> YgmResult:
     """Run one YGM configuration to completion."""
-    world = YgmWorld(machine, scheme=scheme, seed=seed, mailbox_capacity=capacity)
+    world = YgmWorld(
+        machine, scheme=scheme, seed=seed, mailbox_capacity=capacity, tracer=tracer
+    )
     return world.run(make_app)
 
 

@@ -1,0 +1,116 @@
+"""Traced single-run mode behind the CLI's ``--trace`` / ``--metrics``.
+
+Figure sweeps run dozens of configurations; a trace of all of them would
+be unreadable (and the Chrome viewer expects one timeline).  So the
+traced mode picks one *representative* configuration of the requested
+figure -- the smallest preset with remote traffic (2 nodes unless the
+sweep says otherwise) under the most capable routing scheme available at
+that size -- runs it once with a :class:`repro.trace.Tracer` installed,
+and exports the Chrome timeline and/or the per-interval metrics table.
+
+Tracing is provably non-perturbing (see ``tests/trace``), so the summary
+row printed by a traced run is identical to what an untraced run of the
+same configuration would report.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Optional
+
+from ..trace import Tracer
+from .harness import SweepConfig, run_ygm, schemes_for
+from .report import Table
+
+#: Figures the traced mode knows how to build a workload for.
+TRACEABLE = ("6a", "6b", "7a", "7b")
+
+
+def _workload(fig: str, sweep: SweepConfig, nodes: int) -> Callable:
+    """Build the figure's rank program at the given node count."""
+    nranks = nodes * sweep.cores_per_node
+    if fig in ("6a", "6b"):
+        from ..apps import make_degree_counting
+        from ..graph import er_stream
+
+        if fig == "6a":  # weak scaling: fixed per-rank work
+            stream = er_stream(
+                num_vertices=2**10 * nranks, edges_per_rank=2**12, seed=sweep.seed
+            )
+        else:  # strong scaling: fixed total work
+            stream = er_stream(
+                num_vertices=2**14,
+                edges_per_rank=max(1, 2**17 // nranks),
+                seed=sweep.seed,
+            )
+        return make_degree_counting(stream, batch_size=2**12)
+    if fig in ("7a", "7b"):
+        from ..apps import make_connected_components
+        from ..graph import rmat_stream
+
+        scale = 9 + max(0, int(math.log2(nodes)))
+        edges_per_rank = max(1, (1 << 12) * nodes // nranks)
+        stream = rmat_stream(scale, edges_per_rank, seed=sweep.seed)
+        return make_connected_components(stream, batch_size=2**12)
+    raise ValueError(
+        f"figure {fig!r} has no traced mode; traceable figures: {TRACEABLE}"
+    )
+
+
+def run_traced(
+    fig: str,
+    sweep: SweepConfig,
+    trace_path: Optional[str] = None,
+    metrics_path: Optional[str] = None,
+    metrics_interval: Optional[float] = None,
+) -> Table:
+    """Run the representative configuration of ``fig`` under a tracer."""
+    # Smallest node count with remote (inter-node) traffic, so the NIC
+    # lanes are populated; fall back to whatever the sweep offers.
+    candidates = [n for n in sweep.node_counts if n >= 2]
+    nodes = min(candidates) if candidates else max(sweep.node_counts)
+    schemes = schemes_for(nodes, sweep.cores_per_node)
+    scheme = "nlnr" if "nlnr" in schemes else schemes[-1]
+
+    tracer = Tracer()
+    res = run_ygm(
+        _workload(fig, sweep, nodes),
+        sweep.machine(nodes),
+        scheme,
+        sweep.mailbox_capacity,
+        seed=sweep.seed,
+        tracer=tracer,
+    )
+    tracer.close()
+    if trace_path:
+        tracer.export_chrome(trace_path)
+    metrics_rows = 0
+    if metrics_path:
+        metrics_rows = len(
+            tracer.export_metrics(metrics_path, interval=metrics_interval)
+        )
+
+    stats = res.mailbox_stats
+    table = Table(
+        title=f"Traced run: fig {fig}, {nodes} nodes x "
+        f"{sweep.cores_per_node} cores, scheme {scheme}",
+        columns=[
+            "seconds", "trace_events", "remote_packets", "remote_bytes",
+            "local_packets", "flushes", "term_rounds", "idle_seconds",
+        ],
+    )
+    table.add(
+        seconds=res.elapsed,
+        trace_events=len(tracer.events),
+        remote_packets=stats.remote_packets_sent,
+        remote_bytes=stats.remote_bytes_sent,
+        local_packets=stats.local_packets_sent,
+        flushes=stats.flushes,
+        term_rounds=stats.term_rounds,
+        idle_seconds=stats.idle_time,
+    )
+    if trace_path:
+        table.note(f"Chrome trace_event JSON written to {trace_path}")
+    if metrics_path:
+        table.note(f"{metrics_rows} metric intervals written to {metrics_path}")
+    return table

@@ -95,6 +95,24 @@ class YgmContext:
         """Charge application CPU time: ``yield ctx.compute(t)``."""
         return self._mpi.compute(seconds)
 
+    # -- tracing -------------------------------------------------------------
+    @property
+    def tracer(self):
+        """The installed :class:`repro.trace.Tracer`, or ``None``."""
+        return self._mpi.sim.tracer
+
+    def trace(self, name: str, **args) -> None:
+        """Emit an application-level trace marker on this rank's lane.
+
+        A no-op (one attribute check) when no tracer is installed, so
+        rank programs can annotate phases unconditionally.
+        """
+        tracer = self._mpi.sim.tracer
+        if tracer is not None and tracer.wants("app"):
+            tracer.instant(
+                self._mpi.sim.now, "app", name, f"rank {self.world_rank}", **args
+            )
+
     # -- mailbox factory -----------------------------------------------------
     def mailbox(
         self,
@@ -169,11 +187,13 @@ class YgmWorld:
         seed: int = 0,
         mailbox_capacity: int = MailboxConfig().capacity,
         cores_per_node: int = 8,
+        tracer=None,
     ):
         if isinstance(machine, int):
             machine = bench_machine(nodes=machine, cores_per_node=cores_per_node)
         self.machine_config = machine
-        self.world = World(machine, seed=seed)
+        self.tracer = tracer
+        self.world = World(machine, seed=seed, tracer=tracer)
         if isinstance(scheme, str):
             scheme = get_scheme(scheme, machine.nodes, machine.cores_per_node)
         elif (scheme.nodes, scheme.cores) != (machine.nodes, machine.cores_per_node):

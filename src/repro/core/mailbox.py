@@ -72,6 +72,7 @@ class Mailbox:
         self._buffers: Dict[int, CoalescingBuffer] = {}
         self._queued = 0  # messages across all buffers
         self._pending_handle_cost = 0.0
+        self._lane = f"rank {ctx.world_rank}"  # trace lane label
         self._term = TerminationDetector(
             rank=self.rank,
             size=self.comm.size,
@@ -149,7 +150,12 @@ class Mailbox:
         return buf
 
     def _bin_batch(self, dests: np.ndarray, batch: np.ndarray, at_injection: bool) -> None:
-        """Deliver self-addressed records, bin the rest by next hop."""
+        """Deliver self-addressed records, bin the rest by next hop.
+
+        ``at_injection`` distinguishes freshly posted batches from batches
+        re-binned at a routing intermediary: only the latter count toward
+        ``stats.entries_forwarded``.
+        """
         here = dests == self.rank
         if here.any():
             self._deliver_batch(batch[here])
@@ -157,6 +163,8 @@ class Mailbox:
             batch = batch[~here]
             if len(dests) == 0:
                 return
+        if not at_injection:
+            self.stats.entries_forwarded += len(dests)
         hops = self.scheme.next_hop_vec(self.rank, dests)
         order = np.argsort(hops, kind="stable")
         hops_sorted = hops[order]
@@ -190,6 +198,10 @@ class Mailbox:
         """Send every nonempty coalescing buffer along its next hop."""
         if self._queued == 0:
             return
+        tracer = self.ctx.sim.tracer
+        trace = tracer is not None and tracer.wants("mailbox")
+        started = self.ctx.sim.now
+        messages = self._queued
         self.stats.flushes += 1
         compute = self.ctx.machine.config.compute
         # Per-message packing cost, charged in bulk.
@@ -197,13 +209,20 @@ class Mailbox:
         if pack_cost > 0:
             yield self.ctx.sim.timeout(pack_cost)
         # Deterministic hop order.
+        packets = 0
         for hop in sorted(self._buffers):
             buf = self._buffers[hop]
             if not buf:
                 continue
             entries, nbytes, count = buf.take()
             self._queued -= count
+            packets += 1
             yield from self._send_packet(hop, entries, nbytes, count)
+        if trace:
+            tracer.complete(
+                started, self.ctx.sim.now - started, "mailbox", "flush",
+                self._lane, messages=messages, packets=packets,
+            )
 
     def _send_packet(self, hop: int, entries: List[Any], nbytes: int, count: int) -> Generator:
         self.stats.entries_sent += count
@@ -252,7 +271,7 @@ class Mailbox:
         return handled
 
     def _handle_packet(self, pkt: Packet) -> Generator:
-        compute = self.ctx.machine.config.compute
+        forwarded_before = self.stats.entries_forwarded
         for entry in pkt.payload:
             kind = entry.kind
             if kind == "p2p":
@@ -265,12 +284,12 @@ class Mailbox:
                     self._buffer_for(hop).add(entry)
                     self._queued += 1
             elif kind == "batch":
-                n = entry.count
-                self.stats.entries_received += n
-                before = self.stats.app_messages_delivered
+                # Forwarding is accounted inside _bin_batch (counting the
+                # re-binned records directly); inferring it from delivery
+                # deltas would mis-count when a receive callback posts
+                # additional self-addressed messages.
+                self.stats.entries_received += entry.count
                 self._bin_batch(entry.dests, entry.batch, at_injection=False)
-                delivered = self.stats.app_messages_delivered - before
-                self.stats.entries_forwarded += n - delivered
             elif kind == "bcast":
                 self.stats.entries_received += 1
                 self._deliver_bcast(entry.payload)
@@ -282,6 +301,14 @@ class Mailbox:
                     self.stats.entries_forwarded += 1
             else:  # pragma: no cover - defensive
                 raise TypeError(f"unknown entry kind {kind!r}")
+        forwarded = self.stats.entries_forwarded - forwarded_before
+        if forwarded:
+            tracer = self.ctx.sim.tracer
+            if tracer is not None and tracer.wants("mailbox"):
+                tracer.instant(
+                    self.ctx.sim.now, "mailbox", "forward", self._lane,
+                    entries=forwarded,
+                )
         yield from self._charge_pending_handles()
 
     def _deliver_p2p(self, payload: Any) -> None:
@@ -330,6 +357,20 @@ class Mailbox:
                 return
             self._term.on_packet(pkt.tag, pkt.payload)
 
+    def _advance_term(self) -> Generator:
+        """Drive the detector; trace any rounds completed by this call."""
+        rounds_before = self._term.rounds_completed
+        progressed = yield from self._term.advance()
+        completed = self._term.rounds_completed - rounds_before
+        if completed:
+            tracer = self.ctx.sim.tracer
+            if tracer is not None and tracer.wants("mailbox"):
+                tracer.instant(
+                    self.ctx.sim.now, "mailbox", "term_round", self._lane,
+                    completed=completed, epoch_rounds=self._term.rounds_completed,
+                )
+        return progressed
+
     def wait_empty(self) -> Generator:
         """Block until global quiescence (paper's WAIT_EMPTY).
 
@@ -345,9 +386,9 @@ class Mailbox:
             if handled or self._queued:
                 continue
             self._drain_term()
-            progressed = yield from self._term.advance()
+            progressed = yield from self._advance_term()
             if self._term.done:
-                self.stats.term_rounds = self._term.rounds_completed
+                self.stats.term_rounds += self._term.rounds_completed
                 return
             if progressed:
                 continue
@@ -358,14 +399,18 @@ class Mailbox:
 
         Flushes, processes available traffic, advances the termination
         protocol as far as possible without waiting, and returns whether
-        global quiescence has been detected.
+        global quiescence has been detected.  Like :meth:`wait_empty`,
+        a call after a completed epoch re-arms the detector and begins a
+        fresh quiescence epoch.
         """
+        if self._term.done:
+            self._term.reset()
         yield from self.flush()
         yield from self.progress()
         self._drain_term()
-        yield from self._term.advance()
+        yield from self._advance_term()
         if self._term.done:
-            self.stats.term_rounds = self._term.rounds_completed
+            self.stats.term_rounds += self._term.rounds_completed
         return self._term.done
 
     def _wait_any_traffic(self) -> Generator:
@@ -373,7 +418,11 @@ class Mailbox:
         get_term = self._term_store.get()
         blocked_at = self.ctx.sim.now
         yield self.ctx.sim.any_of([get_app, get_term])
-        self.stats.idle_time += self.ctx.sim.now - blocked_at
+        idle = self.ctx.sim.now - blocked_at
+        self.stats.idle_time += idle
+        tracer = self.ctx.sim.tracer
+        if tracer is not None and tracer.wants("mailbox"):
+            tracer.complete(blocked_at, idle, "mailbox", "idle", self._lane)
         if get_app.triggered:
             yield from self._handle_packet(get_app.value)
         else:

@@ -167,10 +167,16 @@ class TerminationDetector:
             self.phase = IDLE
 
     def reset(self) -> None:
-        """Re-arm the detector for a subsequent wait_empty epoch."""
+        """Re-arm the detector for a subsequent quiescence epoch.
+
+        ``rounds_completed`` is cleared so it always reads as *this
+        epoch's* round count; the mailbox accumulates the per-epoch
+        values into ``MailboxStats.term_rounds`` at epoch completion.
+        """
         if not self.done:
             raise RuntimeError("cannot reset a detector mid-protocol")
         self.done = False
         self.round += 1  # keep tags globally unique across epochs
         self.phase = IDLE
+        self.rounds_completed = 0
         self._prev_totals = None

@@ -108,6 +108,12 @@ class Machine:
         net = self.config.net
         self.local_packets += 1
         self.local_bytes += nbytes
+        tracer = self.sim.tracer
+        if tracer is not None and tracer.wants("mpi"):
+            tracer.instant(
+                self.sim.now, "mpi", "local_packet", f"rank {src}",
+                dst=dst, nbytes=nbytes,
+            )
         cost = net.local_time(nbytes)
         if cost > 0:
             yield self.sim.timeout(cost)
@@ -134,16 +140,30 @@ class Machine:
         dst_node = self.node_of(dst)
         self.remote_packets += 1
         self.remote_bytes += nbytes
+        tracer = self.sim.tracer
+        trace = tracer is not None and tracer.wants("mpi")
+        if trace:
+            tracer.instant(
+                self.sim.now, "mpi", "packet_injected", f"rank {src}",
+                dst=dst, nbytes=nbytes,
+                protocol="rendezvous" if net.is_rendezvous(nbytes) else "eager",
+            )
         if net.send_overhead > 0:
             yield self.sim.timeout(net.send_overhead)
         yield from self.nic_tx[src_node].timed(net.nic_time(nbytes))
+        if trace:
+            tracer.instant(
+                self.sim.now, "mpi", "packet_on_wire", f"rank {src}",
+                dst=dst, nbytes=nbytes,
+            )
         self.sim.process(
-            self._in_flight(dst_node, nbytes, packet, deliver),
+            self._in_flight(dst, dst_node, nbytes, packet, deliver),
             name=f"pkt:{src}->{dst}",
         )
 
     def _in_flight(
         self,
+        dst: int,
         dst_node: int,
         nbytes: int,
         packet: Any,
@@ -155,6 +175,12 @@ class Machine:
         yield from self.nic_rx[dst_node].timed(net.nic_time(nbytes))
         if net.recv_overhead > 0:
             yield self.sim.timeout(net.recv_overhead)
+        tracer = self.sim.tracer
+        if tracer is not None and tracer.wants("mpi"):
+            tracer.instant(
+                self.sim.now, "mpi", "packet_delivered", f"rank {dst}",
+                nbytes=nbytes,
+            )
         deliver(packet)
 
     def transmit(

@@ -97,6 +97,7 @@ class Inbox:
         self._unexpected.append(packet)
         if len(self._unexpected) > self.unexpected_peak:
             self.unexpected_peak = len(self._unexpected)
+        self._trace_unexpected_depth()
 
     # -- receiving -------------------------------------------------------------
     def post(self, ctx: int, kind: str, source, tag) -> PostedRecv:
@@ -106,9 +107,18 @@ class Inbox:
             if pkt.matches(ctx, kind, source, tag):
                 del self._unexpected[i]
                 ev.succeed(pkt)
+                self._trace_unexpected_depth()
                 return ev
         self._posted.append(ev)
         return ev
+
+    def _trace_unexpected_depth(self) -> None:
+        tracer = self.sim.tracer
+        if tracer is not None and tracer.wants("mpi"):
+            tracer.counter(
+                self.sim.now, "mpi", "unexpected_depth", f"rank {self.rank}",
+                len(self._unexpected),
+            )
 
     def probe(self, ctx: int, kind: str, source=ANY_SOURCE, tag=ANY_TAG) -> Optional[Packet]:
         """Non-destructively find a matching unexpected packet."""

@@ -94,8 +94,11 @@ class WorldResult:
 class World:
     """A simulated machine with one MPI rank per core."""
 
-    def __init__(self, config: MachineConfig, seed: int = 0):
+    def __init__(self, config: MachineConfig, seed: int = 0, tracer=None):
         self.sim = Simulator()
+        if tracer is not None:
+            tracer.bind(nodes=config.nodes, cores_per_node=config.cores_per_node)
+            self.sim.tracer = tracer
         self.machine = Machine(self.sim, config)
         self.seed = seed
         self.inboxes: List[Inbox] = [

@@ -45,6 +45,10 @@ class Simulator:
         self._live_processes: int = 0
         #: Processes currently blocked (not finished, not on the queue).
         self._steps: int = 0
+        #: Optional :class:`repro.trace.Tracer`; every layer reads its
+        #: tracer from here.  ``None`` (the default) makes all trace
+        #: hooks a single attribute check.
+        self.tracer = None
 
     # -- time --------------------------------------------------------------
     @property
@@ -98,6 +102,11 @@ class Simulator:
         t, _seq, event = heapq.heappop(self._heap)
         self._now = t
         self._steps += 1
+        tracer = self.tracer
+        if tracer is not None and tracer.wants("kernel"):
+            tracer.instant(
+                t, "kernel", event.name or type(event).__name__, "kernel"
+            )
         event._process()
 
     def run(self, until: Optional[float] = None) -> None:

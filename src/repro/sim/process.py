@@ -29,7 +29,7 @@ from .events import Event
 class Process(Event):
     """An event wrapping a running generator coroutine."""
 
-    __slots__ = ("gen", "_waiting_on",)
+    __slots__ = ("gen", "_waiting_on", "_blocked_since")
 
     def __init__(self, sim: "Simulator", gen: Generator, name: str = ""):  # noqa: F821
         if not hasattr(gen, "send"):
@@ -40,6 +40,8 @@ class Process(Event):
         super().__init__(sim, name=name or getattr(gen, "__name__", "process"))
         self.gen = gen
         self._waiting_on: Event | None = None
+        #: Block timestamp for the (trace-only) blocked-span events.
+        self._blocked_since: float | None = None
         sim._live_processes += 1
         # Kick off at the current time via an initialisation event so that
         # process startup is serialized through the queue (deterministic).
@@ -55,6 +57,17 @@ class Process(Event):
     def _resume(self, event: Event) -> None:
         """Advance the generator with ``event``'s value (kernel callback)."""
         self._waiting_on = None
+        tracer = self.sim.tracer
+        if self._blocked_since is not None:
+            if tracer is not None and tracer.wants("process"):
+                tracer.complete(
+                    self._blocked_since,
+                    self.sim.now - self._blocked_since,
+                    "process",
+                    "blocked",
+                    self.name,
+                )
+            self._blocked_since = None
         try:
             if event.ok is False:
                 target = self.gen.throw(event.value)
@@ -90,4 +103,6 @@ class Process(Event):
                 f"process {self.name!r} yielded an event from a different simulator"
             )
         self._waiting_on = target
+        if tracer is not None and tracer.wants("process"):
+            self._blocked_since = self.sim.now
         target.attach(self._resume)

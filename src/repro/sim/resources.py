@@ -47,6 +47,7 @@ class Resource:
             ev.succeed(None)
         else:
             self._waiters.append(ev)
+            self._trace_queue_depth()
         return ev
 
     def release(self) -> None:
@@ -56,15 +57,32 @@ class Resource:
         if self._waiters:
             # Hand the slot directly to the next waiter (in_use unchanged).
             self._waiters.popleft().succeed(None)
+            self._trace_queue_depth()
         else:
             self._in_use -= 1
+
+    def _trace_queue_depth(self) -> None:
+        tracer = self.sim.tracer
+        if tracer is not None and tracer.wants("resource"):
+            tracer.counter(
+                self.sim.now, "resource", "queue_depth", self.name,
+                len(self._waiters),
+            )
 
     def timed(self, duration: float) -> Generator:
         """Generator helper: acquire, hold for ``duration``, release.
 
         Usage from a process: ``yield from resource.timed(t)``.
         """
+        tracer = self.sim.tracer
+        trace = tracer is not None and tracer.wants("resource")
+        requested = self.sim.now
         yield self.acquire()
+        granted = self.sim.now
+        if trace and granted > requested:
+            tracer.complete(
+                requested, granted - requested, "resource", "wait", self.name
+            )
         try:
             if duration > 0:
                 yield self.sim.timeout(duration)
@@ -72,3 +90,7 @@ class Resource:
             self.holds += 1
         finally:
             self.release()
+            if trace:
+                tracer.complete(
+                    granted, self.sim.now - granted, "resource", "hold", self.name
+                )

@@ -1,0 +1,53 @@
+"""Observability for the simulated stack: tracing and per-interval metrics.
+
+The stack is instrumented end to end -- DES kernel event dispatch,
+process block/unblock, resource (NIC) occupancy, transport packets with
+their eager/rendezvous protocol choice, unexpected-queue depth, and
+mailbox flushes / forwards / termination rounds / idle intervals.  All
+hooks are inert (one attribute check) until a :class:`Tracer` is
+installed on the simulator, and recording never perturbs the simulation:
+a traced run is bit-identical to an untraced one.
+
+Typical use::
+
+    from repro import YgmWorld
+    from repro.trace import Tracer
+
+    tracer = Tracer()
+    world = YgmWorld(4, scheme="nlnr", tracer=tracer)
+    result = world.run(rank_main)
+    tracer.export_chrome("trace.json")    # chrome://tracing / Perfetto
+    tracer.export_metrics("metrics.csv")  # per-interval table
+
+or, from the bench CLI::
+
+    python -m repro.bench fig6 --trace trace.json --metrics metrics.csv
+"""
+
+from .chrome import export_chrome, to_chrome_events
+from .metrics import COLUMNS as METRIC_COLUMNS
+from .metrics import compute_metrics, export_metrics
+from .tracer import (
+    ALL_CATEGORIES,
+    DEFAULT_CATEGORIES,
+    CallbackSink,
+    MemorySink,
+    Sink,
+    TraceEvent,
+    Tracer,
+)
+
+__all__ = [
+    "ALL_CATEGORIES",
+    "CallbackSink",
+    "DEFAULT_CATEGORIES",
+    "METRIC_COLUMNS",
+    "MemorySink",
+    "Sink",
+    "TraceEvent",
+    "Tracer",
+    "compute_metrics",
+    "export_chrome",
+    "export_metrics",
+    "to_chrome_events",
+]

@@ -4,8 +4,10 @@ import numpy as np
 import pytest
 
 from repro import RecordSpec, YgmWorld
+from repro.core.coalescing import P2PEntry
 from repro.core.routing import SCHEMES
 from repro.machine import small
+from repro.mpi.envelope import Packet
 
 ALL_SCHEMES = list(SCHEMES)
 
@@ -373,6 +375,104 @@ def test_two_wait_empty_epochs():
         assert final == ["first", "second"]
 
 
+def test_test_empty_rearms_for_second_epoch():
+    """Regression: test_empty left the detector 'done' forever, so a
+    second quiescence epoch returned True immediately and the epoch's
+    messages were silently lost."""
+
+    def rank_main(ctx):
+        got = []
+        mb = ctx.mailbox(recv=got.append)
+        for payload in ("first", "second"):
+            yield from mb.send((ctx.rank + 1) % ctx.nranks, payload)
+            while not (yield from mb.test_empty()):
+                yield ctx.compute(1e-6)
+        return got
+
+    res = make_world(2, 2, "nlnr").run(rank_main)
+    for got in res.values:
+        assert got == ["first", "second"]
+
+
+def test_test_empty_sees_new_traffic_after_quiescence():
+    """After a completed epoch, the next test_empty must re-arm and
+    report False while fresh traffic is still in flight."""
+
+    def rank_main(ctx):
+        got = []
+        mb = ctx.mailbox(recv=got.append)
+        while not (yield from mb.test_empty()):
+            yield ctx.compute(1e-6)
+        # Fresh traffic: the very next poll must NOT claim quiescence.
+        yield from mb.send((ctx.rank + 1) % ctx.nranks, "late")
+        first_poll = yield from mb.test_empty()
+        while not (yield from mb.test_empty()):
+            yield ctx.compute(1e-6)
+        return (first_poll, got)
+
+    res = make_world(2, 2, "node_remote").run(rank_main)
+    for first_poll, got in res.values:
+        assert first_poll is False
+        assert got == ["late"]
+
+
+# ------------------------------------------------------- forward accounting
+def _batch_all_to_all(reentrant):
+    """Each rank batch-sends 4 records to every rank; optionally every
+    batch delivery posts reentrant self-addressed scalar messages."""
+
+    def rank_main(ctx):
+        noise = []
+
+        def on_batch(batch):  # closes over mb, bound below
+            if reentrant:
+                for _ in range(len(batch)):
+                    mb.post(ctx.rank, "echo")
+
+        mb = ctx.mailbox(recv=noise.append, recv_batch=on_batch)
+        dests = np.repeat(np.arange(ctx.nranks, dtype=np.int64), 4)
+        batch = SPEC.build(dest=dests.astype("u8"), val=dests.astype("u8"))
+        yield from mb.send_batch(dests, batch)
+        yield from mb.wait_empty()
+        return None
+
+    return rank_main
+
+
+def test_batch_forward_accounting_immune_to_reentrant_posts():
+    """Regression: batch-path entries_forwarded was inferred from the
+    app_messages_delivered delta, so a receive callback posting
+    self-addressed messages made intermediaries under-count forwards."""
+    plain = make_world(3, 2, "nlnr").run(_batch_all_to_all(False))
+    reent = make_world(3, 2, "nlnr").run(_batch_all_to_all(True))
+    forwarded = plain.mailbox_stats.entries_forwarded
+    assert forwarded > 0
+    assert reent.mailbox_stats.entries_forwarded == forwarded
+
+
+def test_batch_forwarding_matches_scalar_accounting():
+    """Forwarding is a property of the routes, not the send path: the
+    same destinations must yield the same entries_forwarded whether sent
+    record-at-a-time or as one batch."""
+
+    def scalar_main(ctx):
+        mb = ctx.mailbox(recv=lambda m: None)
+        for dest in range(ctx.nranks):
+            for _ in range(4):
+                yield from mb.send(dest, dest)
+        yield from mb.wait_empty()
+        return None
+
+    for scheme in ("node_local", "node_remote", "nlnr"):
+        batch = make_world(3, 2, scheme).run(_batch_all_to_all(False))
+        scalar = make_world(3, 2, scheme).run(scalar_main)
+        assert (
+            batch.mailbox_stats.entries_forwarded
+            == scalar.mailbox_stats.entries_forwarded
+            > 0
+        )
+
+
 def test_conservation_of_entries():
     """Global transport invariant: entries sent == entries received."""
 
@@ -432,6 +532,84 @@ def test_hybrid_nlnr_faster_than_nlnr():
     res_hybrid = make_world(4, 4, "nlnr_hybrid", capacity=64).run(rank_main)
     assert sum(res_nlnr.values) == sum(res_hybrid.values) == 16 * 256
     assert res_hybrid.elapsed < res_nlnr.elapsed
+
+
+# ------------------------------------------------------ wait_any_traffic races
+def _app_packet(mb, payload):
+    return Packet(
+        src=0, dst=0, ctx=mb.comm.ctx, kind=mb._app_kind, tag=0,
+        payload=[P2PEntry(0, payload, 8)], nbytes=8,
+    )
+
+
+def _term_packet(mb, tag, payload):
+    return Packet(
+        src=0, dst=0, ctx=mb.comm.ctx, kind=mb._term_kind, tag=tag,
+        payload=payload, nbytes=8,
+    )
+
+
+@pytest.mark.parametrize("order", ["app_first", "term_first"])
+def test_wait_any_traffic_same_timestamp_race(order):
+    """An app packet and a term packet arriving at the same simulated
+    instant: _wait_any_traffic must consume both -- neither the losing
+    getter's cancellation nor wake-up ordering may drop a packet."""
+
+    def rank_main(ctx):
+        got = []
+        mb = ctx.mailbox(recv=got.append)
+        tag = ("r", 0, 0)
+
+        def injector():
+            yield ctx.sim.timeout(1.0)
+            puts = [
+                lambda: mb._app_store.put(_app_packet(mb, "hello")),
+                lambda: mb._term_store.put(_term_packet(mb, tag, (1, 2))),
+            ]
+            if order == "term_first":
+                puts.reverse()
+            for put in puts:
+                put()
+
+        ctx.sim.process(injector())
+        yield from mb._wait_any_traffic()
+        mb._drain_term()  # pick up the term packet if it lost the race
+        assert got == ["hello"]
+        assert mb._term._cache.get(tag) == (1, 2)
+        assert len(mb._app_store) == 0 and len(mb._term_store) == 0
+        return True
+
+    res = make_world(1, 1).run(rank_main)
+    assert all(res.values)
+
+
+def test_wait_any_traffic_cancelled_app_get_keeps_later_packet():
+    """A term-only wake-up cancels the app getter; an app packet arriving
+    later must still reach the next wait (not be stolen by the cancelled
+    getter)."""
+
+    def rank_main(ctx):
+        got = []
+        mb = ctx.mailbox(recv=got.append)
+        tag = ("r", 0, 0)
+
+        def injector():
+            yield ctx.sim.timeout(1.0)
+            mb._term_store.put(_term_packet(mb, tag, (3, 4)))
+            yield ctx.sim.timeout(1.0)
+            mb._app_store.put(_app_packet(mb, "later"))
+
+        ctx.sim.process(injector())
+        yield from mb._wait_any_traffic()  # term-only: app get cancelled
+        assert got == []
+        assert mb._term._cache.get(tag) == (3, 4)
+        yield from mb._wait_any_traffic()  # must receive the app packet
+        assert got == ["later"]
+        assert len(mb._app_store) == 0
+        return True
+
+    res = make_world(1, 1).run(rank_main)
+    assert all(res.values)
 
 
 def test_determinism_same_seed_same_elapsed():

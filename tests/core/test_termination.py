@@ -107,6 +107,49 @@ def test_detector_many_epochs():
     assert sum(res.values) == 40
 
 
+def test_term_rounds_accumulate_per_epoch():
+    """Regression: stats.term_rounds was *assigned* the detector's
+    cumulative rounds_completed (and reset() never cleared it), so
+    multi-epoch totals were wrong.  rounds_completed must read as this
+    epoch's count and MailboxStats.term_rounds as the running total."""
+
+    def rank_main(ctx):
+        mb = ctx.mailbox(recv=lambda m: None)
+        yield from mb.send((ctx.rank + 1) % ctx.nranks, 1)
+        yield from mb.wait_empty()
+        r1, total1 = mb._term.rounds_completed, mb.stats.term_rounds
+        yield from mb.send((ctx.rank + 2) % ctx.nranks, 2)
+        yield from mb.wait_empty()
+        r2, total2 = mb._term.rounds_completed, mb.stats.term_rounds
+        return (r1, total1, r2, total2)
+
+    res = YgmWorld(small(nodes=2, cores_per_node=2), scheme="nlnr").run(rank_main)
+    for r1, total1, r2, total2 in res.values:
+        assert r1 >= 2 and r2 >= 2  # each epoch needs >= 2 rounds
+        assert total1 == r1
+        assert total2 == total1 + r2
+
+
+def test_reset_clears_rounds_completed():
+    det = TerminationDetector(rank=0, size=1, get_counts=lambda: (0, 0), send=None)
+
+    def drive():
+        done = yield from det.advance()
+        return done
+
+    # Size-1 tree: the root collects itself and finishes without sends.
+    gen = drive()
+    try:
+        while True:
+            next(gen)
+    except StopIteration:
+        pass
+    assert det.done and det.rounds_completed >= 2
+    det.reset()
+    assert det.rounds_completed == 0
+    assert not det.done
+
+
 def test_callback_chains_do_not_terminate_early():
     """A chain of data-dependent messages (each receive spawns the next
     hop) must be fully drained before wait_empty returns."""

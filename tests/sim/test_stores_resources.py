@@ -107,6 +107,56 @@ def test_cancelled_get_does_not_steal_items():
     assert got == ["only"]
 
 
+def test_put_after_all_getters_cancelled_queues_item():
+    """With only a cancelled getter waiting, put must queue the item
+    (not hand it to the dead getter)."""
+    sim = Simulator()
+    store = Store(sim)
+
+    def proc(sim):
+        g = store.get()
+        yield sim.any_of([g, sim.timeout(1)])
+        assert not g.triggered
+        g.cancel()
+        assert g.cancelled
+        store.put("kept")
+        assert len(store) == 1
+        assert store.try_get() == "kept"
+        return True
+
+    p = sim.process(proc(sim))
+    sim.run()
+    assert p.value is True
+
+
+def test_put_skips_many_cancelled_getters():
+    sim = Simulator()
+    store = Store(sim)
+    got = []
+
+    def canceller(sim):
+        g = store.get()
+        yield sim.any_of([g, sim.timeout(1)])
+        g.cancel()
+
+    def live(sim):
+        yield sim.timeout(0.5)  # queued behind the cancelled getters
+        item = yield store.get()
+        got.append(item)
+
+    for _ in range(3):
+        sim.process(canceller(sim))
+    sim.process(live(sim))
+
+    def putter(sim):
+        yield sim.timeout(2)
+        store.put("x")
+
+    sim.process(putter(sim))
+    sim.run()
+    assert got == ["x"]
+
+
 def test_cancel_triggered_get_raises():
     sim = Simulator()
     store = Store(sim)

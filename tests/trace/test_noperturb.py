@@ -1,0 +1,73 @@
+"""Tracing must not perturb the simulation.
+
+The ISSUE's acceptance bar: a run with the tracer enabled (all
+categories) must produce bit-identical simulated time and identical
+aggregated MailboxStats to the same run without a tracer.  Trace hooks
+only *read* simulated state and append to sinks; any hook that created
+events, charged time, or consumed randomness would break these tests.
+"""
+
+import numpy as np
+import pytest
+
+from repro import RecordSpec, YgmWorld
+from repro.machine import small
+from repro.trace import ALL_CATEGORIES, Tracer
+
+SPEC = RecordSpec("pair", [("v", "u8"), ("w", "u8")])
+
+
+def _mixed_main(ctx):
+    """Exercise every traffic path: scalar, batch, bcast, reentrant posts."""
+    got = []
+
+    def on_recv(msg):
+        got.append(msg)
+        if isinstance(msg, int) and msg % 7 == 0:
+            # Reentrant self-post from inside a delivery callback.
+            ctx.mailboxes[0].post(ctx.rank, -1)
+
+    mb = ctx.mailbox(recv=on_recv, capacity=16)
+    rng = ctx.rng
+    for i in range(48):
+        yield from mb.send(int(rng.integers(ctx.nranks)), i)
+    yield from mb.send_bcast(("hello", ctx.rank))
+    dests = rng.integers(ctx.nranks, size=64).astype(np.int64)
+    yield from mb.send_batch(dests, SPEC.build(v=dests.astype("u8"), w=dests.astype("u8")))
+    yield from mb.wait_empty()
+    # A second quiescence epoch, polled instead of blocked.
+    yield from mb.send((ctx.rank + 1) % ctx.nranks, "late")
+    while not (yield from mb.test_empty()):
+        yield ctx.compute(1e-6)
+    return len(got)
+
+
+def _run(tracer=None, scheme="nlnr"):
+    world = YgmWorld(
+        small(nodes=2, cores_per_node=2),
+        scheme=scheme,
+        seed=3,
+        mailbox_capacity=16,
+        tracer=tracer,
+    )
+    return world.run(_mixed_main)
+
+
+@pytest.mark.parametrize("scheme", ["noroute", "node_local", "nlnr"])
+def test_traced_run_is_bit_identical(scheme):
+    base = _run(tracer=None, scheme=scheme)
+    traced = _run(tracer=Tracer(categories=ALL_CATEGORIES), scheme=scheme)
+    assert traced.elapsed == base.elapsed  # exact, not approx
+    assert traced.finish_times == base.finish_times
+    assert traced.values == base.values
+    assert traced.mailbox_stats.as_dict() == base.mailbox_stats.as_dict()
+    for a, b in zip(traced.per_rank_stats, base.per_rank_stats):
+        assert a.as_dict() == b.as_dict()
+    assert traced.transport == base.transport
+
+
+def test_traced_run_is_deterministic():
+    tr1, tr2 = Tracer(categories=ALL_CATEGORIES), Tracer(categories=ALL_CATEGORIES)
+    r1, r2 = _run(tracer=tr1), _run(tracer=tr2)
+    assert r1.elapsed == r2.elapsed
+    assert tr1.events == tr2.events
