@@ -1,0 +1,41 @@
+"""``python -m repro.bench --check``: the correctness-harness mode.
+
+Runs the two active pillars of :mod:`repro.check` and prints their
+reports:
+
+1. the routing-differential oracle (every app under every routing
+   scheme, invariant-checked, against sequential references), and
+2. a schedule-fuzz campaign over the canonical mixed-traffic quiescence
+   scenario (perturbed same-timestamp interleavings, invariants plus
+   baseline-equality asserted per run).
+
+Returns a process exit code: 0 when every check passes, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+
+def run_check(
+    seed: int = 0,
+    fuzz_runs: int = 50,
+    apps: Optional[Sequence[str]] = None,
+    scales: Optional[Sequence[str]] = None,
+) -> int:
+    from ..check import fuzz_schedules, mailbox_quiescence_scenario, run_oracle
+
+    ok = True
+
+    report = run_oracle(apps=apps, scales=scales, seed=seed)
+    print(report.render())
+    ok &= report.ok
+
+    print()
+    fuzz = fuzz_schedules(
+        mailbox_quiescence_scenario(seed=seed), runs=fuzz_runs, seed=seed
+    )
+    print(fuzz.render())
+    ok &= fuzz.ok
+
+    return 0 if ok else 1

@@ -12,6 +12,11 @@ configuration of the first requested figure runs with the observability
 layer enabled, emitting a Chrome ``trace_event`` timeline (one lane per
 rank plus NIC lanes; load in chrome://tracing or Perfetto) and a
 per-interval metrics table.
+
+``--check`` switches to the correctness-harness mode (see
+:mod:`repro.check` and TESTING.md): the routing-differential oracle and
+a schedule-fuzz campaign run instead of any figure; the exit code
+reflects whether every check passed.
 """
 
 from __future__ import annotations
@@ -127,7 +132,55 @@ def main(argv: List[str] = None) -> int:
         default=None,
         help="metrics bucket width in simulated seconds (default: run/50)",
     )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="correctness-harness mode: run the routing-differential "
+        "oracle and a schedule-fuzz campaign instead of figures",
+    )
+    parser.add_argument(
+        "--fuzz-runs",
+        type=int,
+        default=50,
+        help="perturbed interleavings in the --check fuzz campaign",
+    )
+    parser.add_argument(
+        "--check-app",
+        action="append",
+        dest="check_apps",
+        metavar="APP",
+        help="restrict the --check oracle to an app (repeatable)",
+    )
+    parser.add_argument(
+        "--check-scale",
+        action="append",
+        dest="check_scales",
+        metavar="SCALE",
+        help="restrict the --check oracle to a machine scale (repeatable)",
+    )
     args = parser.parse_args(argv)
+
+    if args.check:
+        from ..check import ORACLE_APPS, ORACLE_SCALES
+        from .checking import run_check
+
+        for app in args.check_apps or ():
+            if app not in ORACLE_APPS:
+                parser.error(
+                    f"unknown --check-app {app!r}; known: {sorted(ORACLE_APPS)}"
+                )
+        for scale in args.check_scales or ():
+            if scale not in ORACLE_SCALES:
+                parser.error(
+                    f"unknown --check-scale {scale!r}; "
+                    f"known: {sorted(ORACLE_SCALES)}"
+                )
+        return run_check(
+            seed=args.seed,
+            fuzz_runs=args.fuzz_runs,
+            apps=args.check_apps,
+            scales=args.check_scales,
+        )
 
     figs = (args.figs or []) + args.figs_pos
     if not figs:

@@ -1,0 +1,54 @@
+"""Deterministic-simulation correctness harness (see TESTING.md).
+
+Three pillars:
+
+* :mod:`~repro.check.invariants` -- runtime invariant checkers that
+  attach to any simulation through the trace hooks;
+* :mod:`~repro.check.fuzz` -- a schedule fuzzer perturbing the kernel's
+  same-timestamp tie-breaking, with failing-seed window minimization;
+* :mod:`~repro.check.oracle` -- a differential oracle running every
+  application under all routing schemes against in-process sequential
+  references.
+"""
+
+from .fuzz import (
+    FuzzFailure,
+    FuzzReport,
+    ShuffledTiebreaker,
+    fuzz_schedules,
+    mailbox_quiescence_scenario,
+    minimize_window,
+    results_equal,
+)
+from .invariants import (
+    CHECK_CATEGORIES,
+    InvariantChecker,
+    InvariantViolation,
+    run_checked,
+)
+
+__all__ = [
+    "CHECK_CATEGORIES",
+    "FuzzFailure",
+    "FuzzReport",
+    "InvariantChecker",
+    "InvariantViolation",
+    "OracleReport",
+    "ShuffledTiebreaker",
+    "fuzz_schedules",
+    "mailbox_quiescence_scenario",
+    "minimize_window",
+    "results_equal",
+    "run_checked",
+    "run_oracle",
+]
+
+
+def __getattr__(name):
+    # Oracle imports every app module; load it lazily so the light
+    # pillars stay cheap to import.
+    if name in ("OracleReport", "run_oracle", "ORACLE_APPS", "ORACLE_SCALES"):
+        from . import oracle
+
+        return getattr(oracle, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

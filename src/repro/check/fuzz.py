@@ -1,0 +1,327 @@
+"""Schedule fuzzing: adversarial same-timestamp interleavings.
+
+The DES kernel orders simultaneous events FIFO by default, which is
+deterministic but explores exactly *one* of the many interleavings a
+real asynchronous machine could produce.  Correctness of the YGM stack
+(termination detection, coalescing, routing, reentrant posts) must not
+depend on that accident of scheduling.
+
+This module perturbs the kernel's tie-breaking through the pluggable
+``tiebreaker`` hook of :class:`~repro.sim.kernel.Simulator`:
+:class:`ShuffledTiebreaker` assigns every event a pseudo-random key from
+a stateless hash of ``(seed, seq)``, so events that share a timestamp
+pop in a seed-determined shuffled order while the simulation stays fully
+reproducible -- re-running with the same seed replays the exact same
+schedule.  :func:`fuzz_schedules` re-runs a scenario under many such
+shuffles and asserts (a) no invariant fires (see
+:mod:`repro.check.invariants`) and (b) the application-level result is
+identical to the unperturbed baseline.
+
+Because the hash is stateless, a failing seed can be *minimized*:
+:func:`minimize_window` restricts the perturbation to a ``[lo, hi)``
+event-sequence window (events outside keep the default key) and bisects
+it down, without shifting the random keys of the events that remain
+perturbed.  The surviving window localizes the first schedule decision
+that matters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Generator, List, Optional, Tuple
+
+import numpy as np
+
+from ..serde import RecordSpec
+from .invariants import InvariantViolation, run_checked
+
+_MASK64 = (1 << 64) - 1
+
+#: A schedule under test: maps a tiebreaker (or None for the pristine
+#: baseline) to the scenario's canonical result.  Must raise
+#: :class:`InvariantViolation` on any invariant failure.
+RunFn = Callable[[Optional[Callable[[float, int], int]]], Any]
+
+
+def _mix(seed: int, seq: int) -> int:
+    """Stateless splitmix64-style hash of ``(seed, seq)`` to 64 bits."""
+    x = (seed ^ (seq * 0x9E3779B97F4A7C15)) & _MASK64
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return (x ^ (x >> 31)) & _MASK64
+
+
+class ShuffledTiebreaker:
+    """Pseudo-randomly orders same-timestamp events, reproducibly.
+
+    ``window=(lo, hi)`` restricts the perturbation to events whose
+    kernel sequence number falls in ``[lo, hi)``; all other events keep
+    the default key 0 (and hence their FIFO order among themselves).
+    Keys are a pure function of ``(seed, seq)``, so narrowing the window
+    never changes the key of an event that stays inside it -- the
+    property :func:`minimize_window` relies on.
+    """
+
+    def __init__(self, seed: int, window: Optional[Tuple[int, int]] = None):
+        self.seed = seed
+        self.window = window
+
+    def __call__(self, time: float, seq: int) -> int:
+        if self.window is not None:
+            lo, hi = self.window
+            if not lo <= seq < hi:
+                return 0
+        return _mix(self.seed, seq)
+
+    def __repr__(self) -> str:  # pragma: no cover -- debugging aid
+        win = f", window={self.window}" if self.window else ""
+        return f"ShuffledTiebreaker(seed={self.seed}{win})"
+
+
+def results_equal(a: Any, b: Any) -> bool:
+    """Deep, bit-exact equality (ndarrays compare dtype + raw bytes)."""
+    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        if not (isinstance(a, np.ndarray) and isinstance(b, np.ndarray)):
+            return False
+        return (
+            a.dtype == b.dtype
+            and a.shape == b.shape
+            and a.tobytes() == b.tobytes()
+        )
+    if isinstance(a, dict) and isinstance(b, dict):
+        return a.keys() == b.keys() and all(
+            results_equal(a[k], b[k]) for k in a
+        )
+    if isinstance(a, (list, tuple)) and isinstance(b, (list, tuple)):
+        return len(a) == len(b) and all(
+            results_equal(x, y) for x, y in zip(a, b)
+        )
+    if isinstance(a, (float, np.floating)) and isinstance(b, (float, np.floating)):
+        return np.float64(a).tobytes() == np.float64(b).tobytes()
+    return bool(a == b)
+
+
+@dataclass
+class FuzzFailure:
+    """One failing perturbed schedule, reproducible from ``seed``."""
+
+    seed: int
+    kind: str  # "invariant" | "divergence" | "error"
+    detail: str
+
+    def tiebreaker(self) -> ShuffledTiebreaker:
+        """Rebuild the exact tiebreaker that exposed this failure."""
+        return ShuffledTiebreaker(self.seed)
+
+
+@dataclass
+class FuzzReport:
+    """Outcome of a :func:`fuzz_schedules` campaign."""
+
+    runs: int
+    seeds: List[int] = field(default_factory=list)
+    failures: List[FuzzFailure] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def raise_if_failed(self) -> None:
+        if self.failures:
+            raise InvariantViolation(self.render())
+
+    def render(self) -> str:
+        if self.ok:
+            return f"schedule fuzz: {self.runs} perturbed interleavings OK"
+        lines = [
+            f"schedule fuzz: {len(self.failures)}/{self.runs} interleavings FAILED"
+        ]
+        for f in self.failures:
+            lines.append(f"  seed={f.seed} [{f.kind}] {f.detail}")
+        lines.append(
+            "reproduce with ShuffledTiebreaker(seed=<seed>); "
+            "localize with repro.check.minimize_window"
+        )
+        return "\n".join(lines)
+
+
+def fuzz_schedules(
+    run_fn: RunFn,
+    runs: int = 50,
+    seed: int = 0,
+    baseline: Any = None,
+) -> FuzzReport:
+    """Re-run a scenario under ``runs`` shuffled schedules.
+
+    Each run ``i`` uses the derived tiebreak seed ``_mix(seed, i)`` so
+    campaigns with different master seeds explore disjoint schedules.
+    The baseline (default-FIFO) result is computed once unless supplied.
+    """
+    if baseline is None:
+        baseline = run_fn(None)
+    report = FuzzReport(runs=runs)
+    for i in range(runs):
+        sub_seed = _mix(seed, i)
+        report.seeds.append(sub_seed)
+        try:
+            result = run_fn(ShuffledTiebreaker(sub_seed))
+        except InvariantViolation as exc:
+            report.failures.append(FuzzFailure(sub_seed, "invariant", str(exc)))
+            continue
+        except Exception as exc:  # crash under a legal schedule is a bug too
+            report.failures.append(
+                FuzzFailure(sub_seed, "error", f"{type(exc).__name__}: {exc}")
+            )
+            continue
+        if not results_equal(baseline, result):
+            report.failures.append(
+                FuzzFailure(
+                    sub_seed,
+                    "divergence",
+                    "result differs from the unperturbed baseline",
+                )
+            )
+    return report
+
+
+def _window_failure(
+    run_fn: RunFn, seed: int, window: Tuple[int, int], baseline: Any
+) -> Optional[str]:
+    try:
+        result = run_fn(ShuffledTiebreaker(seed, window=window))
+    except InvariantViolation as exc:
+        return f"invariant: {exc}"
+    except Exception as exc:
+        return f"error: {type(exc).__name__}: {exc}"
+    if not results_equal(baseline, result):
+        return "divergence from baseline"
+    return None
+
+
+def minimize_window(
+    run_fn: RunFn,
+    seed: int,
+    max_seq: int,
+    baseline: Any = None,
+) -> Optional[Tuple[Tuple[int, int], str]]:
+    """Bisect a failing fuzz seed down to a minimal perturbation window.
+
+    ``max_seq`` bounds the kernel sequence numbers of the scenario (the
+    baseline run's event count; a generous over-estimate only costs a
+    few extra bisection steps).  Returns ``((lo, hi), detail)`` for the
+    smallest window this greedy bisection still fails on, or ``None`` if
+    the full window does not fail (seed is not a reproducer).
+    """
+    if baseline is None:
+        baseline = run_fn(None)
+    window = (0, max_seq)
+    detail = _window_failure(run_fn, seed, window, baseline)
+    if detail is None:
+        return None
+    while window[1] - window[0] > 1:
+        lo, hi = window
+        mid = (lo + hi) // 2
+        left = _window_failure(run_fn, seed, (lo, mid), baseline)
+        if left is not None:
+            window, detail = (lo, mid), left
+            continue
+        right = _window_failure(run_fn, seed, (mid, hi), baseline)
+        if right is not None:
+            window, detail = (mid, hi), right
+            continue
+        break  # failure needs decisions from both halves
+    return window, detail
+
+
+# -- canonical fuzz scenario ---------------------------------------------------
+
+#: Batch records for the quiescence scenario: (origin rank, value).
+FUZZ_SPEC = RecordSpec("fuzzmix", [("src", "u8"), ("val", "i8")])
+
+
+def mailbox_quiescence_scenario(
+    nodes: int = 2,
+    cores_per_node: int = 2,
+    scheme: str = "nlnr",
+    capacity: int = 6,
+    seed: int = 0,
+    n_scalar: int = 5,
+    n_batch: int = 40,
+) -> RunFn:
+    """Build the canonical mixed-traffic quiescence scenario.
+
+    Two ``wait_empty`` epochs over one mailbox: epoch 1 mixes random
+    point-to-point pings (each answered by an echo *posted from the
+    delivery callback*, exercising reentrancy) with a broadcast from
+    every rank; epoch 2 sends coalesced record batches.  The tiny
+    capacity forces frequent flushes and routing-intermediary
+    forwarding.  Returns a :data:`RunFn` whose canonical result (sorted
+    receive logs per rank) is schedule-independent, for use with
+    :func:`fuzz_schedules` / :func:`minimize_window`.
+    """
+    from ..machine import bench_machine
+
+    def rank_main(ctx) -> Generator:
+        rank, nranks = ctx.rank, ctx.nranks
+        got_scalar: List[Tuple[int, int]] = []
+        got_echo: List[Tuple[int, int]] = []
+        got_batch: List[Tuple[int, int]] = []
+        got_bcast: List[Tuple[str, int]] = []
+
+        def on_recv(msg):
+            if msg[0] == "ping":
+                _, src, i = msg
+                got_scalar.append((src, i))
+                mb.post(src, ("echo", rank, i))  # reentrant post
+            else:
+                _, src, i = msg
+                got_echo.append((src, i))
+
+        def on_batch(batch: np.ndarray) -> None:
+            got_batch.extend(
+                zip(batch["src"].tolist(), batch["val"].tolist())
+            )
+
+        def on_bcast(msg) -> None:
+            got_bcast.append(msg)
+
+        mb = ctx.mailbox(
+            recv=on_recv, recv_batch=on_batch, recv_bcast=on_bcast
+        )
+
+        # Epoch 1: scalar pings (echoed from the callback) + broadcasts.
+        for i in range(n_scalar):
+            dest = int(ctx.rng.integers(0, nranks))
+            yield from mb.send(dest, ("ping", rank, i))
+        mb.post_bcast(("hello", rank))
+        yield from mb.wait_empty()
+
+        # Epoch 2: coalesced record batches.
+        vals = np.arange(n_batch, dtype=np.int64) + rank * 1000
+        dests = vals % nranks
+        batch = FUZZ_SPEC.build(
+            src=np.full(n_batch, rank, dtype=np.uint64), val=vals
+        )
+        yield from mb.send_batch(dests, batch, spec=FUZZ_SPEC)
+        yield from mb.wait_empty()
+
+        return {
+            "scalar": tuple(sorted(got_scalar)),
+            "echo": tuple(sorted(got_echo)),
+            "batch": tuple(sorted(got_batch)),
+            "bcast": tuple(sorted(got_bcast)),
+        }
+
+    def run_fn(tiebreaker):
+        machine = bench_machine(nodes, cores_per_node=cores_per_node)
+        result, _checker = run_checked(
+            machine,
+            rank_main,
+            scheme=scheme,
+            seed=seed,
+            mailbox_capacity=capacity,
+            tiebreaker=tiebreaker,
+        )
+        return tuple(result.values)
+
+    return run_fn

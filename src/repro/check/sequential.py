@@ -1,0 +1,189 @@
+"""Sequential in-process reference implementations of the six apps.
+
+Each function recomputes, with plain NumPy / textbook algorithms and **no
+simulator involvement**, the exact global answer the distributed YGM
+programs must produce.  The differential oracle (:mod:`repro.check.
+oracle`) runs every app under every routing scheme and compares against
+these references.
+
+Determinism contracts the references replicate:
+
+* edge streams are regenerated with the same :class:`~repro.graph.
+  generators.EdgeStream` chunk seeding the rank programs use, so the
+  input graph is identical by construction;
+* k-mer reads use the same per-rank RNG derivation as
+  :class:`~repro.mpi.world.RankContext`
+  (``SeedSequence(entropy=seed, spawn_key=(rank,))``);
+* SSSP weights come from :func:`repro.apps.sssp.edge_weights`, and
+  path lengths are folded source-outward exactly like the distributed
+  relaxation, so even the float results are bit-identical;
+* SpMV is the one app whose distributed sum decomposition a sequential
+  pass cannot cheaply replicate (float addition is not associative), so
+  its reference comparison is tolerance-based -- cross-*scheme*
+  bit-identity is still asserted separately by the oracle.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..apps.bfs import UNREACHED
+from ..apps.kmer_count import random_reads, shear_kmers
+from ..apps.sssp import INF, edge_weights
+from ..graph.generators import EdgeStream
+
+
+def _all_edges(stream: EdgeStream, nranks: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Every rank's share of the stream, concatenated."""
+    us: List[np.ndarray] = []
+    vs: List[np.ndarray] = []
+    for rank in range(nranks):
+        u, v = stream.all_edges(rank)
+        us.append(np.asarray(u, dtype=np.int64))
+        vs.append(np.asarray(v, dtype=np.int64))
+    return np.concatenate(us), np.concatenate(vs)
+
+
+def ref_degrees(stream: EdgeStream, nranks: int) -> np.ndarray:
+    """Global degree array (both endpoints of every edge count)."""
+    u, v = _all_edges(stream, nranks)
+    return np.bincount(
+        np.concatenate((u, v)), minlength=stream.num_vertices
+    ).astype(np.int64)
+
+
+def ref_connected_components(stream: EdgeStream, nranks: int) -> np.ndarray:
+    """Per-vertex label: the minimum vertex id of its component."""
+    n = stream.num_vertices
+    parent = np.arange(n, dtype=np.int64)
+
+    def find(x: int) -> int:
+        root = x
+        while parent[root] != root:
+            root = parent[root]
+        while parent[x] != root:  # path compression
+            parent[x], x = root, parent[x]
+        return root
+
+    u, v = _all_edges(stream, nranks)
+    for a, b in zip(u.tolist(), v.tolist()):
+        ra, rb = find(a), find(b)
+        if ra != rb:
+            parent[max(ra, rb)] = min(ra, rb)
+    roots = np.fromiter((find(i) for i in range(n)), dtype=np.int64, count=n)
+    # With unions always rooted at the smaller id, the root *is* the
+    # minimum vertex id of the component -- the fixpoint of YGM's
+    # min-label propagation.
+    return roots
+
+
+def _adjacency(
+    src: np.ndarray, dst: np.ndarray, n: int
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """CSR (indptr, neighbours, perm) over directed arcs src->dst."""
+    order = np.argsort(src, kind="stable")
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    np.add.at(indptr, src + 1, 1)
+    np.cumsum(indptr, out=indptr)
+    return indptr, dst[order], order
+
+
+def ref_bfs(stream: EdgeStream, source: int, nranks: int) -> np.ndarray:
+    """Hop distances from ``source`` (``UNREACHED`` sentinel)."""
+    n = stream.num_vertices
+    u, v = _all_edges(stream, nranks)
+    src = np.concatenate((u, v))
+    dst = np.concatenate((v, u))
+    indptr, neigh, _ = _adjacency(src, dst, n)
+    dist = np.full(n, UNREACHED, dtype=np.int64)
+    dist[source] = 0
+    frontier = [source]
+    while frontier:
+        nxt: List[int] = []
+        for x in frontier:
+            d = dist[x] + 1
+            for y in neigh[indptr[x] : indptr[x + 1]].tolist():
+                if d < dist[y]:
+                    dist[y] = d
+                    nxt.append(y)
+        frontier = nxt
+    return dist
+
+
+def ref_sssp(
+    stream: EdgeStream, source: int, nranks: int, weight_seed: int = 0
+) -> np.ndarray:
+    """Dijkstra distances from ``source`` (``INF`` sentinel).
+
+    Tentative distances are built as ``dist[u] + w`` exactly like the
+    distributed relaxation, so converged values match bit-for-bit.
+    """
+    n = stream.num_vertices
+    u, v = _all_edges(stream, nranks)
+    w = edge_weights(u, v, weight_seed)
+    src = np.concatenate((u, v))
+    dst = np.concatenate((v, u))
+    ww = np.concatenate((w, w))
+    indptr, neigh, perm = _adjacency(src, dst, n)
+    wsorted = ww[perm]
+    dist = np.full(n, INF, dtype=np.float64)
+    dist[source] = 0.0
+    heap: List[Tuple[float, int]] = [(0.0, source)]
+    while heap:
+        d, x = heapq.heappop(heap)
+        if d > dist[x]:
+            continue
+        lo, hi = indptr[x], indptr[x + 1]
+        for y, wy in zip(neigh[lo:hi].tolist(), wsorted[lo:hi].tolist()):
+            nd = dist[x] + wy
+            if nd < dist[y]:
+                dist[y] = nd
+                heapq.heappush(heap, (nd, y))
+    return dist
+
+
+def ref_kmer_counts(
+    n_reads_per_rank: int,
+    read_len: int,
+    k: int,
+    nranks: int,
+    seed: int = 0,
+    skew: float = 0.0,
+    frequent_threshold: int = 2,
+) -> Tuple[Dict[int, int], List[int]]:
+    """Global (counts, sorted frequent k-mers) over every rank's reads.
+
+    Regenerates each rank's reads with the same RNG derivation
+    :class:`~repro.mpi.world.RankContext` uses, so the dataset matches
+    the simulated run exactly.
+    """
+    counts: Dict[int, int] = {}
+    for rank in range(nranks):
+        rng = np.random.default_rng(
+            np.random.SeedSequence(entropy=seed, spawn_key=(rank,))
+        )
+        reads = random_reads(n_reads_per_rank, read_len, rng, skew=skew)
+        kmers = shear_kmers(reads, k)
+        uniq, cnt = np.unique(kmers, return_counts=True)
+        for km, c in zip(uniq.tolist(), cnt.tolist()):
+            counts[km] = counts.get(km, 0) + c
+    frequent = sorted(km for km, c in counts.items() if c > frequent_threshold)
+    return counts, frequent
+
+
+def ref_spmv(
+    n: int, rows: np.ndarray, cols: np.ndarray, vals: np.ndarray, x: np.ndarray
+) -> np.ndarray:
+    """Dense y = A @ x from COO triples (tolerance-based comparison)."""
+    y = np.zeros(n, dtype=np.float64)
+    np.add.at(
+        y,
+        np.asarray(rows, dtype=np.int64),
+        np.asarray(vals, dtype=np.float64) * np.asarray(x, dtype=np.float64)[
+            np.asarray(cols, dtype=np.int64)
+        ],
+    )
+    return y

@@ -188,12 +188,13 @@ class YgmWorld:
         mailbox_capacity: int = MailboxConfig().capacity,
         cores_per_node: int = 8,
         tracer=None,
+        tiebreaker=None,
     ):
         if isinstance(machine, int):
             machine = bench_machine(nodes=machine, cores_per_node=cores_per_node)
         self.machine_config = machine
         self.tracer = tracer
-        self.world = World(machine, seed=seed, tracer=tracer)
+        self.world = World(machine, seed=seed, tracer=tracer, tiebreaker=tiebreaker)
         if isinstance(scheme, str):
             scheme = get_scheme(scheme, machine.nodes, machine.cores_per_node)
         elif (scheme.nodes, scheme.cores) != (machine.nodes, machine.cores_per_node):

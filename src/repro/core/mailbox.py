@@ -73,6 +73,8 @@ class Mailbox:
         self._queued = 0  # messages across all buffers
         self._pending_handle_cost = 0.0
         self._lane = f"rank {ctx.world_rank}"  # trace lane label
+        #: Completed quiescence epochs (wait_empty/test_empty returning done).
+        self._epoch = 0
         self._term = TerminationDetector(
             rank=self.rank,
             size=self.comm.size,
@@ -389,6 +391,7 @@ class Mailbox:
             progressed = yield from self._advance_term()
             if self._term.done:
                 self.stats.term_rounds += self._term.rounds_completed
+                self._trace_quiescent()
                 return
             if progressed:
                 continue
@@ -411,7 +414,36 @@ class Mailbox:
         yield from self._advance_term()
         if self._term.done:
             self.stats.term_rounds += self._term.rounds_completed
+            self._trace_quiescent()
         return self._term.done
+
+    def _trace_quiescent(self) -> None:
+        """Record the completion of a quiescence epoch.
+
+        ``term_sent``/``term_received`` are the *protocol's* agreed
+        global totals (identical on every rank of the epoch, unlike the
+        raw per-rank counters, which keep moving as soon as any rank
+        exits the epoch and starts the next phase).
+        :class:`repro.check.InvariantChecker` uses the snapshot to prove
+        the termination detector never declared quiet while messages
+        were still queued or in flight.
+        """
+        self._epoch += 1
+        tracer = self.ctx.sim.tracer
+        if tracer is not None and tracer.wants("mailbox"):
+            totals = self._term.last_totals or (0, 0)
+            tracer.instant(
+                self.ctx.sim.now, "mailbox", "quiescent", self._lane,
+                mailbox=self._app_kind[1],
+                epoch=self._epoch,
+                rank=self.rank,
+                size=self.comm.size,
+                term_sent=totals[0],
+                term_received=totals[1],
+                entries_sent=self.stats.entries_sent,
+                entries_received=self.stats.entries_received,
+                queued=self._queued,
+            )
 
     def _wait_any_traffic(self) -> Generator:
         get_app = self._app_store.get()

@@ -86,6 +86,12 @@ class TerminationDetector:
         self.phase = IDLE
         self.done = False
         self.rounds_completed = 0
+        #: Global ``(sent, received)`` totals of the last completed round.
+        #: After ``done``, this is the protocol's agreed-on quiescence
+        #: snapshot -- identical on every rank, unlike the raw per-rank
+        #: counters which keep moving as soon as a rank exits its epoch.
+        #: The invariant checker (:mod:`repro.check`) audits it.
+        self.last_totals: Optional[Counts] = None
         self._partial: Counts = (0, 0)
         self._prev_totals: Optional[Counts] = None
         #: Arrived protocol messages keyed by tag.
@@ -150,6 +156,7 @@ class TerminationDetector:
         if tag not in self._cache:
             return False
         done, totals = self._cache.pop(tag)
+        self._prev_totals = totals
         yield from self._broadcast_result((done, totals))
         self._finish_round(done)
         return True
@@ -160,6 +167,7 @@ class TerminationDetector:
 
     def _finish_round(self, done: bool) -> None:
         self.rounds_completed += 1
+        self.last_totals = self._prev_totals
         if done:
             self.done = True
         else:

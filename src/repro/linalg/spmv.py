@@ -123,9 +123,19 @@ def make_spmv(
         y_local = np.zeros(part.local_count(rank), dtype=np.float64)
         y_delegate = np.zeros(delegates.count, dtype=np.float64)
 
+        # Arriving partial products are buffered and reduced *after*
+        # quiescence in a canonical order (row, then value bit pattern):
+        # float addition is not associative, so accumulating in arrival
+        # order would make y depend on the routing scheme and on message
+        # interleaving.  The canonical reduction makes the result
+        # bit-identical across all four schemes and any schedule, which
+        # is what repro.check's differential oracle asserts.
+        recv_rows: List[np.ndarray] = []
+        recv_vals: List[np.ndarray] = []
+
         def on_batch(batch: np.ndarray) -> None:
-            ids = part.local_id_vec(batch["row"].astype(np.int64))
-            np.add.at(y_local, ids, batch["val"])
+            recv_rows.append(batch["row"].astype(np.int64))
+            recv_vals.append(batch["val"].astype(np.float64))
 
         mb = ctx.mailbox(recv_batch=on_batch, capacity=capacity)
 
@@ -165,6 +175,14 @@ def make_spmv(
             )
             yield from mb.send_batch(r_owner[lo:hi], batch, spec=SPMV_SPEC)
         yield from mb.wait_empty()
+
+        # Canonical-order reduction of the buffered remote products.
+        if recv_rows:
+            in_rows = np.concatenate(recv_rows)
+            in_vals = np.concatenate(recv_vals)
+            ids = part.local_id_vec(in_rows)
+            order = np.lexsort((in_vals.view(np.uint64), ids))
+            np.add.at(y_local, ids[order], in_vals[order])
 
         # Combine replicated y entries (paper: "all delegated entries in y
         # are combined using an ALLREDUCE operation").

@@ -137,3 +137,8 @@ class Inbox:
     @property
     def pending_unexpected(self) -> int:
         return len(self._unexpected)
+
+    def subscribed_stores(self) -> Dict[Tuple[int, str], Store]:
+        """Snapshot of the subscribed traffic-class stores (diagnostics;
+        the invariant checker audits them for undrained packets)."""
+        return dict(self._subscriptions)

@@ -94,8 +94,8 @@ class WorldResult:
 class World:
     """A simulated machine with one MPI rank per core."""
 
-    def __init__(self, config: MachineConfig, seed: int = 0, tracer=None):
-        self.sim = Simulator()
+    def __init__(self, config: MachineConfig, seed: int = 0, tracer=None, tiebreaker=None):
+        self.sim = Simulator(tiebreaker=tiebreaker)
         if tracer is not None:
             tracer.bind(nodes=config.nodes, cores_per_node=config.cores_per_node)
             self.sim.tracer = tracer

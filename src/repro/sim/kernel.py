@@ -1,9 +1,19 @@
 """The discrete-event simulation kernel.
 
 :class:`Simulator` owns a priority queue of triggered events keyed by
-``(time, sequence_number)``.  The sequence number makes execution fully
+``(time, tiebreak_key, sequence_number)``.  By default the tiebreak key
+is a constant, so the sequence number makes execution fully
 deterministic: two events triggered for the same simulated time are
 processed in the order they were triggered.
+
+The tiebreak key is *pluggable*: pass a ``tiebreaker`` callable to
+reorder same-timestamp events (the sequence number still breaks the
+remaining ties, so any tiebreaker yields a deterministic run).  This is
+the hook the correctness harness's schedule fuzzer
+(:mod:`repro.check.fuzz`) uses to explore adversarial interleavings --
+any application property that holds for the default FIFO order must hold
+for every tiebreaker, because same-timestamp ordering is an artifact of
+the kernel, not of the modelled machine.
 
 The kernel is intentionally tiny -- the whole simulated-MPI/YGM stack is
 expressed in terms of :class:`~repro.sim.events.Event`,
@@ -20,8 +30,21 @@ from .errors import DeadlockError
 from .events import AllOf, AnyOf, Event, Timeout
 
 
+#: Type of a same-timestamp ordering hook: ``tiebreaker(time, seq)``
+#: returns a sort key inserted between the timestamp and the sequence
+#: number.  Must be deterministic for reproducible runs.
+Tiebreaker = Callable[[float, int], int]
+
+
 class Simulator:
     """A deterministic discrete-event simulator.
+
+    Parameters
+    ----------
+    tiebreaker:
+        Optional ``(time, seq) -> key`` hook ordering same-timestamp
+        events by ``key`` (then by ``seq``).  ``None`` (the default)
+        keeps pure FIFO order of triggering.
 
     Example
     -------
@@ -37,10 +60,11 @@ class Simulator:
     1.5
     """
 
-    def __init__(self) -> None:
+    def __init__(self, tiebreaker: Optional[Tiebreaker] = None) -> None:
         self._now: float = 0.0
         self._seq: int = 0
-        self._heap: List[Tuple[float, int, Event]] = []
+        self._tiebreaker = tiebreaker
+        self._heap: List[Tuple[float, int, int, Event]] = []
         #: Number of live (unfinished) processes; used for deadlock checks.
         self._live_processes: int = 0
         #: Processes currently blocked (not finished, not on the queue).
@@ -88,7 +112,9 @@ class Simulator:
     def _enqueue(self, event: Event, delay: float = 0.0) -> None:
         """Place a triggered event on the processing queue."""
         self._seq += 1
-        heapq.heappush(self._heap, (self._now + delay, self._seq, event))
+        t = self._now + delay
+        key = 0 if self._tiebreaker is None else self._tiebreaker(t, self._seq)
+        heapq.heappush(self._heap, (t, key, self._seq, event))
 
     def schedule(self, delay: float, callback: Callable[[], None]) -> Event:
         """Run ``callback()`` after ``delay`` seconds; returns the event."""
@@ -99,7 +125,7 @@ class Simulator:
     # -- execution -------------------------------------------------------------
     def step(self) -> None:
         """Process the single next event."""
-        t, _seq, event = heapq.heappop(self._heap)
+        t, _key, _seq, event = heapq.heappop(self._heap)
         self._now = t
         self._steps += 1
         tracer = self.tracer

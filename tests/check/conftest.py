@@ -1,0 +1,30 @@
+"""Fixtures for the correctness-harness suite.
+
+``checked_world`` is the fixture the tentpole exposes: a factory that
+builds invariant-audited :class:`YgmWorld` instances.  Any test can opt
+into full invariant checking by building its world through it; every
+checker is finalized again at teardown so end-of-run violations fail the
+test even if the test forgot to call ``finalize`` itself.
+"""
+
+import pytest
+
+from repro.check import InvariantChecker
+from repro.core.context import YgmWorld
+
+
+@pytest.fixture
+def checked_world():
+    """Factory ``(machine, **ygm_kwargs) -> (YgmWorld, InvariantChecker)``."""
+    checkers = []
+
+    def factory(machine, **kwargs):
+        checker = InvariantChecker()
+        world = YgmWorld(machine, tracer=checker.tracer, **kwargs)
+        checker.watch(world)
+        checkers.append(checker)
+        return world, checker
+
+    yield factory
+    for checker in checkers:
+        checker.finalize()

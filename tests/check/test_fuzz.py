@@ -1,0 +1,176 @@
+"""The schedule fuzzer: campaign passes on the real stack, and the
+machinery (tiebreakers, divergence detection, window minimization)
+behaves as documented."""
+
+import numpy as np
+import pytest
+
+from repro.check import (
+    InvariantViolation,
+    ShuffledTiebreaker,
+    fuzz_schedules,
+    mailbox_quiescence_scenario,
+    minimize_window,
+    results_equal,
+)
+from repro.check.fuzz import _mix
+
+
+# ------------------------------------------------- the acceptance campaign
+def test_quiescence_scenario_survives_50_interleavings():
+    """ISSUE 2 acceptance: >= 50 perturbed interleavings of the mailbox
+    quiescence scenario with all invariants and results holding."""
+    report = fuzz_schedules(mailbox_quiescence_scenario(), runs=50, seed=0)
+    assert report.ok, report.render()
+    assert report.runs == 50
+    assert len(set(report.seeds)) == 50  # distinct derived schedules
+
+
+@pytest.mark.parametrize("scheme", ["noroute", "node_remote"])
+def test_campaign_other_schemes(scheme):
+    report = fuzz_schedules(
+        mailbox_quiescence_scenario(scheme=scheme, capacity=2),
+        runs=10,
+        seed=1,
+    )
+    assert report.ok, report.render()
+
+
+def test_reentrant_ttl_forwarding_campaign():
+    """The most adversarial scenario from this harness's development
+    campaign (3,600 interleavings, zero failures): records re-forwarded
+    from inside the delivery callback until their TTL expires, plus
+    self-sends and empty batches, at capacity 1 (flush on every post).
+    Pinned here with its original seed as the regression scenario."""
+    from repro.check import run_checked
+    from repro.machine import bench_machine
+    from repro.serde import RecordSpec
+
+    spec = RecordSpec("hop", [("dest", "u8"), ("ttl", "i8")])
+
+    def rank_main(ctx):
+        seen = []
+
+        def on_batch(batch):
+            ttl = batch["ttl"]
+            alive = ttl > 0
+            seen.extend(batch["dest"][~alive].tolist())
+            if alive.any():
+                nxt = (batch["dest"][alive] + 1) % ctx.nranks
+                out = spec.build(dest=nxt, ttl=ttl[alive] - 1)
+                mb.post_batch(nxt.astype(np.int64), out, spec=spec)
+
+        def on_recv(msg):
+            seen.append(("scalar", msg))
+
+        mb = ctx.mailbox(recv=on_recv, recv_batch=on_batch, capacity=1)
+        yield from mb.send(ctx.rank, ("self", ctx.rank))
+        mb.post_batch(np.empty(0, dtype=np.int64), spec.zeros(0), spec=spec)
+        dests = np.arange(8, dtype=np.int64) % ctx.nranks
+        batch = spec.build(
+            dest=dests.astype(np.uint64), ttl=np.full(8, 3, dtype=np.int64)
+        )
+        yield from mb.send_batch(dests, batch, spec=spec)
+        yield from mb.wait_empty()
+        return tuple(sorted(map(str, seen)))
+
+    def run_fn(tb):
+        result, _ = run_checked(
+            bench_machine(2, cores_per_node=2), rank_main, scheme="nlnr",
+            mailbox_capacity=1, tiebreaker=tb,
+        )
+        return tuple(result.values)
+
+    report = fuzz_schedules(run_fn, runs=15, seed=0xBEEF)
+    assert report.ok, report.render()
+
+
+# -------------------------------------------------------------- tiebreakers
+def test_tiebreaker_is_deterministic_and_seed_sensitive():
+    a = ShuffledTiebreaker(seed=7)
+    assert [a(0.0, s) for s in range(8)] == [a(0.0, s) for s in range(8)]
+    b = ShuffledTiebreaker(seed=8)
+    assert [a(0.0, s) for s in range(8)] != [b(0.0, s) for s in range(8)]
+
+
+def test_tiebreaker_window_restriction():
+    tb = ShuffledTiebreaker(seed=7, window=(10, 20))
+    assert tb(0.0, 9) == 0 and tb(0.0, 20) == 0
+    assert tb(0.0, 15) == ShuffledTiebreaker(seed=7)(0.0, 15) != 0
+
+
+def test_perturbed_run_is_reproducible():
+    run_fn = mailbox_quiescence_scenario()
+    tb = ShuffledTiebreaker(seed=1234)
+    assert results_equal(run_fn(tb), run_fn(ShuffledTiebreaker(seed=1234)))
+
+
+# ------------------------------------------------------------ results_equal
+def test_results_equal_is_bit_exact():
+    a = np.array([1.0, 2.0])
+    assert results_equal(a, a.copy())
+    assert not results_equal(a, a.astype(np.float32))  # dtype matters
+    assert not results_equal(a, np.array([1.0, 2.0 + 1e-16 + 4e-16]))
+    assert results_equal(float("nan"), float("nan"))  # same bit pattern
+    assert results_equal({"x": (1, [a])}, {"x": (1, [a.copy()])})
+    assert not results_equal({"x": 1}, {"y": 1})
+
+
+# ------------------------------------------- failure detection + minimization
+def _synthetic_run_fn(critical_seq):
+    """Fails (diverges) iff the tiebreaker perturbs ``critical_seq``."""
+
+    def run_fn(tb):
+        if tb is None or tb(0.0, critical_seq) == 0:
+            return "baseline"
+        return "diverged"
+
+    return run_fn
+
+
+def test_fuzzer_reports_divergence_with_reproducer():
+    report = fuzz_schedules(_synthetic_run_fn(3), runs=10, seed=0)
+    assert not report.ok
+    assert {f.kind for f in report.failures} == {"divergence"}
+    # Every reported seed reproduces its failure exactly.
+    run_fn = _synthetic_run_fn(3)
+    for failure in report.failures:
+        assert run_fn(failure.tiebreaker()) == "diverged"
+    with pytest.raises(InvariantViolation, match="FAILED"):
+        report.raise_if_failed()
+
+
+def test_fuzzer_reports_invariant_and_crash_kinds():
+    def invariant_run(tb):
+        if tb is None:
+            return 0
+        raise InvariantViolation("boom")
+
+    def crash_run(tb):
+        if tb is None:
+            return 0
+        raise RuntimeError("kaboom")
+
+    assert {
+        f.kind for f in fuzz_schedules(invariant_run, runs=3).failures
+    } == {"invariant"}
+    assert {
+        f.kind for f in fuzz_schedules(crash_run, runs=3).failures
+    } == {"error"}
+
+
+def test_minimize_window_localizes_the_critical_event():
+    critical = 42
+    run_fn = _synthetic_run_fn(critical)
+    seed = _mix(0, 1)  # any seed with a nonzero key at seq 42
+    assert ShuffledTiebreaker(seed)(0.0, critical) != 0
+    minimized = minimize_window(run_fn, seed, max_seq=1024)
+    assert minimized is not None
+    window, detail = minimized
+    assert window == (critical, critical + 1)
+    assert "divergence" in detail
+
+
+def test_minimize_window_rejects_non_reproducing_seed():
+    run_fn = _synthetic_run_fn(10**9)  # never perturbed within max_seq
+    assert minimize_window(run_fn, seed=1, max_seq=64) is None
