@@ -17,6 +17,12 @@ per-interval metrics table.
 :mod:`repro.check` and TESTING.md): the routing-differential oracle and
 a schedule-fuzz campaign run instead of any figure; the exit code
 reflects whether every check passed.
+
+``--perf`` switches to the wall-clock performance harness (see
+:mod:`repro.bench.perf` and EXPERIMENTS.md): micro- and macrobenchmarks
+of the DES stack itself, written to a schema-versioned
+``BENCH_perf.json`` for cross-PR trajectory tracking.  ``--smoke``
+shrinks it to one repeat at tiny scale (the CI ``perf-smoke`` job).
 """
 
 from __future__ import annotations
@@ -158,7 +164,57 @@ def main(argv: List[str] = None) -> int:
         metavar="SCALE",
         help="restrict the --check oracle to a machine scale (repeatable)",
     )
+    parser.add_argument(
+        "--perf",
+        action="store_true",
+        help="performance-harness mode: wall-clock micro/macro benchmarks "
+        "of the DES stack, written to BENCH_perf.json",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="with --perf: 1 repeat at tiny scale (harness sanity, not timing)",
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=None,
+        help="with --perf: repeats per benchmark (default 5)",
+    )
+    parser.add_argument(
+        "--perf-out",
+        metavar="PATH",
+        default="BENCH_perf.json",
+        help="with --perf: output JSON path (default: ./BENCH_perf.json)",
+    )
+    parser.add_argument(
+        "--perf-baseline",
+        metavar="PATH",
+        help="with --perf: previous BENCH_perf.json to embed medians "
+        "and speedups against",
+    )
+    parser.add_argument(
+        "--perf-only",
+        action="append",
+        dest="perf_only",
+        metavar="NAME",
+        help="with --perf: run only this benchmark (repeatable)",
+    )
     args = parser.parse_args(argv)
+
+    if args.perf:
+        from .perf import DEFAULT_REPEATS, run_perf
+
+        try:
+            return run_perf(
+                out_path=args.perf_out,
+                repeats=args.repeats or DEFAULT_REPEATS,
+                smoke=args.smoke,
+                baseline_path=args.perf_baseline,
+                only=args.perf_only,
+            )
+        except (ValueError, OSError) as exc:
+            parser.error(str(exc))
 
     if args.check:
         from ..check import ORACLE_APPS, ORACLE_SCALES

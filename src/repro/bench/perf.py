@@ -1,0 +1,398 @@
+"""Wall-clock performance harness: ``python -m repro.bench --perf``.
+
+The figure harnesses report *simulated* seconds; this module measures the
+*host* wall clock of the DES stack itself, so successive PRs can track
+(and defend) the speed of the reproduction.  It runs
+
+* **microbenchmarks** -- kernel event-dispatch throughput (events/sec),
+  mailbox end-to-end message throughput (messages/sec), and serde packing
+  bandwidth (MB/s), and
+* **macrobenchmarks** -- the fig6 degree-counting and fig7
+  connected-components workloads end-to-end at two machine scales
+  (wall seconds, lower is better),
+
+each repeated several times, and writes a schema-versioned
+``BENCH_perf.json`` (median + IQR per benchmark, host fingerprint) so
+runs are comparable across commits.  Pass a previous report via
+``--perf-baseline`` to embed its medians and per-benchmark speedups in
+the new report.
+
+Timing is inherently noisy; nothing here fails on a slow run (the CI
+``perf-smoke`` job only guards against harness errors).  Compare medians
+across runs on the same host, not absolute numbers across hosts.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+#: Bump when the JSON layout changes shape (consumers should check it).
+SCHEMA_VERSION = 1
+
+#: Default number of repeats per benchmark (median/IQR need >= 5).
+DEFAULT_REPEATS = 5
+
+
+# ------------------------------------------------------------- statistics
+def median_iqr(values: List[float]) -> Tuple[float, float]:
+    """Median and interquartile range (linear interpolation)."""
+    xs = sorted(values)
+    n = len(xs)
+
+    def quantile(q: float) -> float:
+        if n == 1:
+            return xs[0]
+        pos = q * (n - 1)
+        lo = int(pos)
+        hi = min(lo + 1, n - 1)
+        frac = pos - lo
+        return xs[lo] * (1.0 - frac) + xs[hi] * frac
+
+    return quantile(0.5), quantile(0.75) - quantile(0.25)
+
+
+def host_fingerprint() -> Dict[str, Any]:
+    """Enough host identity to know when two reports are comparable."""
+    info: Dict[str, Any] = {
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "python": sys.version.split()[0],
+        "implementation": platform.python_implementation(),
+        "cpu_count": os.cpu_count(),
+    }
+    try:
+        with open("/proc/cpuinfo") as f:
+            for line in f:
+                if line.lower().startswith("model name"):
+                    info["cpu_model"] = line.split(":", 1)[1].strip()
+                    break
+    except OSError:
+        pass
+    return info
+
+
+# ---------------------------------------------------------- microbenchmarks
+def bench_kernel_events(smoke: bool) -> Tuple[float, Dict[str, Any]]:
+    """Kernel dispatch throughput: scheduled-callback chains (events/sec)."""
+    from ..sim import Simulator
+
+    n = 20_000 if smoke else 200_000
+    chains = 64
+    sim = Simulator()
+    done = [0]
+
+    def tick() -> None:
+        done[0] += 1
+        if done[0] < n:
+            sim.schedule(1e-6, tick)
+
+    for i in range(chains):
+        sim.schedule(1e-9 * i, tick)
+    t0 = time.perf_counter()
+    sim.run()
+    wall = time.perf_counter() - t0
+    return sim.steps / wall, {"events": sim.steps, "chains": chains}
+
+
+def bench_kernel_processes(smoke: bool) -> Tuple[float, Dict[str, Any]]:
+    """Kernel throughput under generator processes yielding timeouts."""
+    from ..sim import Simulator
+
+    nprocs = 64
+    rounds = 50 if smoke else 1500
+    sim = Simulator()
+
+    def worker(sim, jitter):
+        for _ in range(rounds):
+            yield sim.timeout(1e-6 + jitter)
+
+    for i in range(nprocs):
+        sim.process(worker(sim, 1e-9 * i))
+    t0 = time.perf_counter()
+    sim.run()
+    wall = time.perf_counter() - t0
+    return sim.steps / wall, {"events": sim.steps, "processes": nprocs}
+
+
+def bench_mailbox(smoke: bool) -> Tuple[float, Dict[str, Any]]:
+    """End-to-end mailbox throughput (scalar sends, messages/sec)."""
+    from ..core import YgmWorld
+    from ..machine import bench_machine
+
+    nodes, cores = (2, 2) if smoke else (2, 4)
+    msgs = 500 if smoke else 4000
+    machine = bench_machine(nodes, cores_per_node=cores)
+    nranks = nodes * cores
+
+    def rank_main(ctx):
+        received = [0]
+
+        def on_recv(_v):
+            received[0] += 1
+
+        mb = ctx.mailbox(recv=on_recv)
+        n = ctx.nranks
+        rank = ctx.rank
+        for i in range(msgs):
+            yield from mb.send((rank + 1 + i % (n - 1)) % n, i)
+        yield from mb.wait_empty()
+        return received[0]
+
+    world = YgmWorld(machine, scheme="node_local", seed=0, mailbox_capacity=1024)
+    t0 = time.perf_counter()
+    world.run(rank_main)
+    wall = time.perf_counter() - t0
+    return (msgs * nranks) / wall, {"ranks": nranks, "messages": msgs * nranks}
+
+
+def _payload_stream(n: int, seed: int = 7) -> List[Any]:
+    """A seeded stream of small mixed payloads (the scalar-send shapes)."""
+    import random
+
+    rng = random.Random(seed)
+    out: List[Any] = []
+    for i in range(n):
+        k = i % 8
+        if k == 0:
+            out.append(rng.getrandbits(rng.choice((6, 13, 27, 48))))
+        elif k == 1:
+            out.append(-rng.getrandbits(20))
+        elif k == 2:
+            out.append(rng.random())
+        elif k == 3:
+            out.append((rng.getrandbits(32), rng.getrandbits(16), rng.random()))
+        elif k == 4:
+            out.append("v" * rng.randrange(1, 24))
+        elif k == 5:
+            out.append([rng.getrandbits(10) for _ in range(rng.randrange(5))])
+        elif k == 6:
+            out.append({"k": rng.getrandbits(16), "w": rng.random()})
+        else:
+            out.append(rng.choice((None, True, False)))
+    return out
+
+
+def bench_packer_small(smoke: bool) -> Tuple[float, Dict[str, Any]]:
+    """Serde bandwidth on small mixed payloads (pack + unpack, MB/s)."""
+    from .. import serde
+
+    n = 2_000 if smoke else 30_000
+    objs = _payload_stream(n)
+    pack_many = getattr(serde, "pack_many", None)
+    unpack_many = getattr(serde, "unpack_many", None)
+    t0 = time.perf_counter()
+    if pack_many is not None:
+        blob = bytes(pack_many(objs))
+    else:  # pre-batching fallback: the same job, one object at a time
+        blob = b"".join(serde.pack(o) for o in objs)
+    if unpack_many is not None:
+        out = unpack_many(blob)
+    else:
+        out = [serde.unpack(serde.pack(o)) for o in objs]
+    wall = time.perf_counter() - t0
+    assert len(out) == n
+    mb = 2 * len(blob) / 1e6  # packed once, unpacked once
+    return mb / wall, {"objects": n, "stream_bytes": len(blob)}
+
+
+def bench_packer_records(smoke: bool) -> Tuple[float, Dict[str, Any]]:
+    """Serde bandwidth on structured record batches (pack + unpack, MB/s)."""
+    import numpy as np
+
+    from ..serde import RecordSpec, pack, unpack
+
+    spec = RecordSpec("edge", [("src", "u8"), ("dst", "u8"), ("w", "f4")])
+    rng = np.random.default_rng(11)
+    batches = []
+    nbatches = 20 if smoke else 200
+    for _ in range(nbatches):
+        n = int(rng.integers(64, 512))
+        batch = spec.zeros(n)
+        batch["src"] = rng.integers(0, 2**40, n)
+        batch["dst"] = rng.integers(0, 2**40, n)
+        batch["w"] = rng.standard_normal(n).astype("f4")
+        batches.append(batch)
+    t0 = time.perf_counter()
+    total = 0
+    for batch in batches:
+        blob = pack(batch)
+        total += len(blob)
+        unpack(blob)
+    wall = time.perf_counter() - t0
+    return 2 * total / 1e6 / wall, {"batches": nbatches, "stream_bytes": total}
+
+
+# ---------------------------------------------------------- macrobenchmarks
+def _macro_sweep(nodes: int, smoke: bool):
+    from .harness import SweepConfig
+
+    return SweepConfig(
+        cores_per_node=2 if smoke else 4,
+        node_counts=(nodes,),
+        mailbox_capacity=2**12,
+        seed=0,
+    )
+
+
+def _bench_fig6(nodes: int, smoke: bool) -> Tuple[float, Dict[str, Any]]:
+    from . import fig6
+
+    t0 = time.perf_counter()
+    fig6.run_weak(_macro_sweep(nodes, smoke))
+    wall = time.perf_counter() - t0
+    return wall, {"nodes": nodes, "workload": "fig6a degree weak"}
+
+
+def _bench_fig7(nodes: int, smoke: bool) -> Tuple[float, Dict[str, Any]]:
+    from . import fig7
+
+    t0 = time.perf_counter()
+    fig7.run_weak(_macro_sweep(nodes, smoke))
+    wall = time.perf_counter() - t0
+    return wall, {"nodes": nodes, "workload": "fig7a cc weak"}
+
+
+# ----------------------------------------------------------------- registry
+@dataclass(frozen=True)
+class BenchSpec:
+    name: str
+    unit: str
+    higher_is_better: bool
+    fn: Callable[[bool], Tuple[float, Dict[str, Any]]]
+
+
+BENCHMARKS: List[BenchSpec] = [
+    BenchSpec("kernel_events", "events/sec", True, bench_kernel_events),
+    BenchSpec("kernel_processes", "events/sec", True, bench_kernel_processes),
+    BenchSpec("mailbox_messages", "messages/sec", True, bench_mailbox),
+    BenchSpec("packer_small", "MB/s", True, bench_packer_small),
+    BenchSpec("packer_records", "MB/s", True, bench_packer_records),
+    BenchSpec("fig6_degree_small", "seconds", False, lambda s: _bench_fig6(2 if s else 4, s)),
+    BenchSpec("fig6_degree_large", "seconds", False, lambda s: _bench_fig6(4 if s else 8, s)),
+    BenchSpec("fig7_cc_small", "seconds", False, lambda s: _bench_fig7(2 if s else 4, s)),
+    BenchSpec("fig7_cc_large", "seconds", False, lambda s: _bench_fig7(4 if s else 8, s)),
+]
+
+
+# ---------------------------------------------------------------- execution
+def run_benchmark(spec: BenchSpec, repeats: int, smoke: bool) -> Dict[str, Any]:
+    values: List[float] = []
+    params: Dict[str, Any] = {}
+    for _ in range(repeats):
+        value, params = spec.fn(smoke)
+        values.append(value)
+    median, iqr = median_iqr(values)
+    return {
+        "unit": spec.unit,
+        "higher_is_better": spec.higher_is_better,
+        "median": median,
+        "iqr": iqr,
+        "values": values,
+        "params": params,
+    }
+
+
+def load_baseline(path: str) -> Optional[Dict[str, Any]]:
+    """Read a previous BENCH_perf.json to compare against; None if absent."""
+    if not os.path.exists(path):
+        return None
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("schema_version") != SCHEMA_VERSION:
+        raise ValueError(
+            f"baseline {path} has schema_version {doc.get('schema_version')!r}; "
+            f"expected {SCHEMA_VERSION}"
+        )
+    return doc
+
+
+def speedup(entry: Dict[str, Any], base_median: float) -> Optional[float]:
+    """Direction-aware improvement ratio (>1 means this run is faster)."""
+    if not base_median or not entry["median"]:
+        return None
+    if entry["higher_is_better"]:
+        return entry["median"] / base_median
+    return base_median / entry["median"]
+
+
+def run_perf(
+    out_path: str = "BENCH_perf.json",
+    repeats: int = DEFAULT_REPEATS,
+    smoke: bool = False,
+    baseline_path: Optional[str] = None,
+    only: Optional[List[str]] = None,
+) -> int:
+    """Run the suite, print a summary table and write ``out_path``."""
+    from .report import Table
+
+    if smoke:
+        repeats = 1
+    specs = BENCHMARKS
+    if only:
+        unknown = set(only) - {s.name for s in BENCHMARKS}
+        if unknown:
+            raise ValueError(
+                f"unknown benchmark(s) {sorted(unknown)}; "
+                f"known: {[s.name for s in BENCHMARKS]}"
+            )
+        specs = [s for s in BENCHMARKS if s.name in only]
+
+    baseline = load_baseline(baseline_path) if baseline_path else None
+    base_benchmarks = (baseline or {}).get("benchmarks", {})
+
+    results: Dict[str, Dict[str, Any]] = {}
+    speedups: Dict[str, float] = {}
+    table = Table(
+        title=f"perf harness ({'smoke, ' if smoke else ''}{repeats} repeat(s), "
+        "median over repeats)",
+        columns=["benchmark", "unit", "median", "iqr", "vs_baseline"],
+    )
+    for spec in specs:
+        entry = run_benchmark(spec, repeats, smoke)
+        results[spec.name] = entry
+        ratio = None
+        base = base_benchmarks.get(spec.name)
+        if base:
+            ratio = speedup(entry, base.get("median"))
+            if ratio is not None:
+                speedups[spec.name] = ratio
+        table.add(
+            benchmark=spec.name,
+            unit=spec.unit,
+            median=entry["median"],
+            iqr=entry["iqr"],
+            vs_baseline=f"{ratio:.2f}x" if ratio is not None else None,
+        )
+
+    doc: Dict[str, Any] = {
+        "schema_version": SCHEMA_VERSION,
+        "created_unix": time.time(),
+        "created": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "mode": "smoke" if smoke else "full",
+        "repeats": repeats,
+        "host": host_fingerprint(),
+        "benchmarks": results,
+    }
+    if baseline is not None:
+        doc["baseline"] = {
+            "path": baseline_path,
+            "created": baseline.get("created"),
+            "benchmarks": {
+                name: {"median": b.get("median"), "unit": b.get("unit")}
+                for name, b in base_benchmarks.items()
+            },
+        }
+        doc["speedups"] = speedups
+
+    with open(out_path, "w") as f:
+        json.dump(doc, f, indent=2, sort_keys=False)
+        f.write("\n")
+    print(table.render())
+    print(f"# wrote {out_path}")
+    return 0

@@ -90,14 +90,46 @@ class BatchEntry:
         return self.count * (self.batch.dtype.itemsize + ENTRY_HEADER_BYTES)
 
 
+class ListPool:
+    """A bounded free list of entry lists (buffer pooling).
+
+    Every flush hands its entry list to a packet and replaces it with a
+    fresh one; every handled packet discards its list.  Recycling the
+    handled lists back into the buffers avoids reallocating (and
+    regrowing) a list per packet on the mailbox hot path.  Lists are
+    cleared on return, so pooling is invisible to correctness; the bound
+    caps memory retained after a traffic burst.
+    """
+
+    __slots__ = ("_free", "capacity")
+
+    def __init__(self, capacity: int = 64):
+        self._free: List[list] = []
+        self.capacity = capacity
+
+    def get(self) -> list:
+        """A fresh (empty) list, recycled when one is available."""
+        return self._free.pop() if self._free else []
+
+    def put(self, lst: Any) -> None:
+        """Return ``lst`` to the pool (ignored unless it is a plain list)."""
+        if type(lst) is list and len(self._free) < self.capacity:
+            lst.clear()
+            self._free.append(lst)
+
+    def __len__(self) -> int:
+        return len(self._free)
+
+
 class CoalescingBuffer:
     """Aggregation buffer for one next hop."""
 
-    __slots__ = ("hop", "entries", "nbytes", "count")
+    __slots__ = ("hop", "entries", "nbytes", "count", "_pool")
 
-    def __init__(self, hop: int):
+    def __init__(self, hop: int, pool: "ListPool | None" = None):
         self.hop = hop
-        self.entries: List[Any] = []
+        self._pool = pool
+        self.entries: List[Any] = [] if pool is None else pool.get()
         self.nbytes = 0  # wire bytes including per-entry headers
         self.count = 0  # messages
 
@@ -107,9 +139,13 @@ class CoalescingBuffer:
         self.count += entry.count
 
     def take(self) -> Tuple[List[Any], int, int]:
-        """Drain the buffer; returns ``(entries, wire_bytes, messages)``."""
+        """Drain the buffer; returns ``(entries, wire_bytes, messages)``.
+
+        Ownership of the entries list transfers to the caller; the
+        replacement comes from the pool when one is attached.
+        """
         out = (self.entries, self.nbytes, self.count)
-        self.entries = []
+        self.entries = [] if self._pool is None else self._pool.get()
         self.nbytes = 0
         self.count = 0
         return out

@@ -28,7 +28,7 @@ import numpy as np
 from ..mpi.envelope import HEADER_BYTES, Packet
 from ..mpi.sizes import payload_nbytes
 from ..serde import RecordSpec
-from .coalescing import BatchEntry, BcastEntry, CoalescingBuffer, P2PEntry
+from .coalescing import BatchEntry, BcastEntry, CoalescingBuffer, ListPool, P2PEntry
 from .config import MailboxConfig
 from .stats import MailboxStats
 from .termination import TerminationDetector
@@ -70,6 +70,8 @@ class Mailbox:
         self._term_store = inbox.subscribe(self.comm.ctx, self._term_kind)
 
         self._buffers: Dict[int, CoalescingBuffer] = {}
+        #: Recycles handled packets' entry lists into fresh buffers.
+        self._pool = ListPool()
         self._queued = 0  # messages across all buffers
         self._pending_handle_cost = 0.0
         self._lane = f"rank {ctx.world_rank}"  # trace lane label
@@ -147,7 +149,7 @@ class Mailbox:
     def _buffer_for(self, hop: int) -> CoalescingBuffer:
         buf = self._buffers.get(hop)
         if buf is None:
-            buf = CoalescingBuffer(hop)
+            buf = CoalescingBuffer(hop, pool=self._pool)
             self._buffers[hop] = buf
         return buf
 
@@ -274,15 +276,17 @@ class Mailbox:
 
     def _handle_packet(self, pkt: Packet) -> Generator:
         forwarded_before = self.stats.entries_forwarded
+        stats = self.stats
+        rank = self.rank
         for entry in pkt.payload:
             kind = entry.kind
             if kind == "p2p":
-                self.stats.entries_received += 1
-                if entry.dest == self.rank:
+                stats.entries_received += 1
+                if entry.dest == rank:
                     self._deliver_p2p(entry.payload)
                 else:
-                    self.stats.entries_forwarded += 1
-                    hop = self.scheme.next_hop(self.rank, entry.dest)
+                    stats.entries_forwarded += 1
+                    hop = self.scheme.next_hop(rank, entry.dest)
                     self._buffer_for(hop).add(entry)
                     self._queued += 1
             elif kind == "batch":
@@ -303,6 +307,9 @@ class Mailbox:
                     self.stats.entries_forwarded += 1
             else:  # pragma: no cover - defensive
                 raise TypeError(f"unknown entry kind {kind!r}")
+        # The packet's entry list is dead from here on; recycle it into
+        # this mailbox's coalescing buffers.
+        self._pool.put(pkt.payload)
         forwarded = self.stats.entries_forwarded - forwarded_before
         if forwarded:
             tracer = self.ctx.sim.tracer

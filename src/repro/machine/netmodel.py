@@ -29,6 +29,7 @@ local communication is handled in shared memory").
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
+from typing import Dict, Tuple
 
 
 KiB = 1024
@@ -64,6 +65,18 @@ class NetworkModel:
     local_overhead: float = 0.4e-6
     #: Shared-memory copy rate.
     memory_rate: float = 24.0 * GiB
+
+    #: Memoised per-size packet costs (see :meth:`packet_costs`).
+    #: Coalesced buffers hit the same few sizes millions of times, so the
+    #: per-packet arithmetic is worth caching.  Excluded from equality/
+    #: hash/repr; ``replace``-based copies start with a fresh cache.
+    _cost_cache: Dict[int, Tuple[float, float, float]] = field(
+        default_factory=dict, init=False, repr=False, compare=False
+    )
+
+    #: Cache growth bound -- a runaway sweep of unique sizes falls back
+    #: to uncached arithmetic instead of holding memory hostage.
+    _COST_CACHE_MAX = 1 << 16
 
     # ---------------------------------------------------------------- remote
     def is_rendezvous(self, nbytes: int) -> bool:
@@ -107,6 +120,25 @@ class NetworkModel:
     def local_time(self, nbytes: int) -> float:
         """Cost of one shared-memory packet (charged to the sending core)."""
         return self.local_overhead + nbytes / self.memory_rate
+
+    # ---------------------------------------------------------------- cached
+    def packet_costs(self, nbytes: int) -> Tuple[float, float, float]:
+        """Memoised ``(nic_time, remote_delay, local_time)`` for one size.
+
+        The transport layer calls this once per packet; identical float
+        results to calling the three methods directly (same expressions,
+        computed once per distinct size).
+        """
+        costs = self._cost_cache.get(nbytes)
+        if costs is None:
+            costs = (
+                self.nic_time(nbytes),
+                self.remote_delay(nbytes),
+                self.local_time(nbytes),
+            )
+            if len(self._cost_cache) < self._COST_CACHE_MAX:
+                self._cost_cache[nbytes] = costs
+        return costs
 
     # ---------------------------------------------------------------- misc
     def with_overrides(self, **kwargs) -> "NetworkModel":

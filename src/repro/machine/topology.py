@@ -114,7 +114,7 @@ class Machine:
                 self.sim.now, "mpi", "local_packet", f"rank {src}",
                 dst=dst, nbytes=nbytes,
             )
-        cost = net.local_time(nbytes)
+        cost = net.packet_costs(nbytes)[2]  # local_time, memoised
         if cost > 0:
             yield self.sim.timeout(cost)
         deliver(packet)
@@ -150,7 +150,7 @@ class Machine:
             )
         if net.send_overhead > 0:
             yield self.sim.timeout(net.send_overhead)
-        yield from self.nic_tx[src_node].timed(net.nic_time(nbytes))
+        yield from self.nic_tx[src_node].timed(net.packet_costs(nbytes)[0])
         if trace:
             tracer.instant(
                 self.sim.now, "mpi", "packet_on_wire", f"rank {src}",
@@ -171,8 +171,9 @@ class Machine:
     ) -> Generator:
         """Wire delay + destination NIC + delivery (detached process)."""
         net = self.config.net
-        yield self.sim.timeout(net.remote_delay(nbytes))
-        yield from self.nic_rx[dst_node].timed(net.nic_time(nbytes))
+        nic_time, remote_delay, _ = net.packet_costs(nbytes)
+        yield self.sim.timeout(remote_delay)
+        yield from self.nic_rx[dst_node].timed(nic_time)
         if net.recv_overhead > 0:
             yield self.sim.timeout(net.recv_overhead)
         tracer = self.sim.tracer

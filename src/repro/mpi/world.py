@@ -148,9 +148,10 @@ class World:
             finish_times[ctx.rank] = self.sim.now
             return value
 
-        procs = [
-            self.sim.process(wrapper(ctx), name=f"rank{ctx.rank}") for ctx in contexts
-        ]
+        procs = self.sim.process_batch(
+            (wrapper(ctx) for ctx in contexts),
+            names=[f"rank{ctx.rank}" for ctx in contexts],
+        )
         if until is not None:
             self.sim.run(until=until)
         else:

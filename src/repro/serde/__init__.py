@@ -6,7 +6,15 @@ support and a user-type registry) plus a NumPy structured-record fast path
 for bulk numeric traffic.
 """
 
-from .packer import SerdeError, pack, packed_size, unpack
+from .packer import (
+    SerdeError,
+    pack,
+    pack_into,
+    pack_many,
+    packed_size,
+    unpack,
+    unpack_many,
+)
 from .records import RecordSpec
 from .registry import clear_registry, register, registered
 
@@ -15,8 +23,11 @@ __all__ = [
     "SerdeError",
     "clear_registry",
     "pack",
+    "pack_into",
+    "pack_many",
     "packed_size",
     "register",
     "registered",
     "unpack",
+    "unpack_many",
 ]

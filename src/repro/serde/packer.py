@@ -15,14 +15,22 @@ The format is a type-tag byte followed by a payload.  Integers use
 zigzag varint encoding; containers are length-prefixed.  ``pickle`` is
 deliberately not used: its output size is noisy (memoisation, protocol
 framing) and the whole point here is faithful message-size accounting.
+
+Packing dispatches on exact type through a handler table rather than an
+``elif`` chain, and unpacking through a 256-entry tag table; both produce
+the same bytes as the original chain for every input (pinned by the
+reference-encoding property tests).  :func:`pack_many`/:func:`unpack_many`
+batch a whole message stream through one reused buffer.
 """
 
 from __future__ import annotations
 
 import struct
-from typing import Any, Callable, Dict, Tuple
+from typing import Any, Callable, Dict, Iterable, List, Tuple
 
 import numpy as np
+
+from .registry import lookup_by_id, lookup_by_type
 
 # --------------------------------------------------------------------- tags
 T_NONE = 0x00
@@ -41,6 +49,8 @@ T_CUSTOM = 0x0C
 T_NPSCALAR = 0x0D
 
 _F64 = struct.Struct("<d")
+_F64_PACK = _F64.pack
+_F64_UNPACK_FROM = _F64.unpack_from
 
 
 class SerdeError(ValueError):
@@ -87,54 +97,107 @@ def _unzigzag(value: int) -> int:
 
 
 # ------------------------------------------------------------------ packing
-def _pack_into(out: bytearray, obj: Any) -> None:
-    from .registry import lookup_by_type  # local import to avoid cycle
+#
+# One handler per exact built-in type, dispatched through a dict keyed on
+# ``type(obj)``.  Anything not in the table (NumPy values, registered user
+# types, unknown types) falls through to :func:`_pack_other`, which keeps
+# the original chain's check order.
 
-    if obj is None:
-        out.append(T_NONE)
-    elif obj is False:
-        out.append(T_FALSE)
-    elif obj is True:
-        out.append(T_TRUE)
-    elif type(obj) is int:
-        out.append(T_INT)
-        _write_uvarint(out, _big_zigzag(obj))
-    elif type(obj) is float:
-        out.append(T_FLOAT)
-        out += _F64.pack(obj)
-    elif type(obj) is bytes:
-        out.append(T_BYTES)
-        _write_uvarint(out, len(obj))
-        out += obj
-    elif type(obj) is str:
-        raw = obj.encode("utf-8")
-        out.append(T_STR)
-        _write_uvarint(out, len(raw))
-        out += raw
-    elif type(obj) is list:
-        out.append(T_LIST)
-        _write_uvarint(out, len(obj))
-        for item in obj:
-            _pack_into(out, item)
-    elif type(obj) is tuple:
-        out.append(T_TUPLE)
-        _write_uvarint(out, len(obj))
-        for item in obj:
-            _pack_into(out, item)
-    elif type(obj) is dict:
-        out.append(T_DICT)
-        _write_uvarint(out, len(obj))
-        for key, val in obj.items():
-            _pack_into(out, key)
-            _pack_into(out, val)
-    elif type(obj) in (set, frozenset):
-        out.append(T_SET)
-        _write_uvarint(out, len(obj))
-        # Sort by encoding for deterministic output.
-        encoded = sorted(pack(item) for item in obj)
-        for enc in encoded:
-            out += enc
-    elif isinstance(obj, np.ndarray):
+def _pack_none(out: bytearray, obj: Any) -> None:
+    out.append(T_NONE)
+
+
+def _pack_bool(out: bytearray, obj: Any) -> None:
+    out.append(T_TRUE if obj else T_FALSE)
+
+
+def _pack_int(out: bytearray, obj: Any) -> None:
+    out.append(T_INT)
+    zz = obj * 2 if obj >= 0 else -obj * 2 - 1
+    if zz < 0x80:
+        out.append(zz)
+    else:
+        _write_uvarint(out, zz)
+
+
+def _pack_float(out: bytearray, obj: Any) -> None:
+    out.append(T_FLOAT)
+    out += _F64_PACK(obj)
+
+
+def _pack_bytes(out: bytearray, obj: Any) -> None:
+    out.append(T_BYTES)
+    n = len(obj)
+    if n < 0x80:
+        out.append(n)
+    else:
+        _write_uvarint(out, n)
+    out += obj
+
+
+def _pack_str(out: bytearray, obj: Any) -> None:
+    raw = obj.encode("utf-8")
+    out.append(T_STR)
+    n = len(raw)
+    if n < 0x80:
+        out.append(n)
+    else:
+        _write_uvarint(out, n)
+    out += raw
+
+
+def _pack_list(out: bytearray, obj: Any) -> None:
+    out.append(T_LIST)
+    n = len(obj)
+    if n < 0x80:
+        out.append(n)
+    else:
+        _write_uvarint(out, n)
+    handlers = _PACK_HANDLERS
+    other = _pack_other
+    for item in obj:
+        handlers.get(type(item), other)(out, item)
+
+
+def _pack_tuple(out: bytearray, obj: Any) -> None:
+    out.append(T_TUPLE)
+    n = len(obj)
+    if n < 0x80:
+        out.append(n)
+    else:
+        _write_uvarint(out, n)
+    handlers = _PACK_HANDLERS
+    other = _pack_other
+    for item in obj:
+        handlers.get(type(item), other)(out, item)
+
+
+def _pack_dict(out: bytearray, obj: Any) -> None:
+    out.append(T_DICT)
+    n = len(obj)
+    if n < 0x80:
+        out.append(n)
+    else:
+        _write_uvarint(out, n)
+    handlers = _PACK_HANDLERS
+    other = _pack_other
+    for key, val in obj.items():
+        handlers.get(type(key), other)(out, key)
+        handlers.get(type(val), other)(out, val)
+
+
+def _pack_set(out: bytearray, obj: Any) -> None:
+    out.append(T_SET)
+    _write_uvarint(out, len(obj))
+    # Sort by encoding for deterministic output.
+    encoded = sorted(pack(item) for item in obj)
+    for enc in encoded:
+        out += enc
+
+
+def _pack_other(out: bytearray, obj: Any) -> None:
+    """Fallback for types outside the dispatch table (original chain tail)."""
+    if isinstance(obj, np.ndarray):
         _pack_ndarray(out, obj)
     elif isinstance(obj, np.generic):
         out.append(T_NPSCALAR)
@@ -152,6 +215,25 @@ def _pack_into(out: bytearray, obj: Any) -> None:
         out.append(T_CUSTOM)
         _write_uvarint(out, entry.type_id)
         _pack_into(out, entry.to_state(obj))
+
+
+_PACK_HANDLERS: Dict[type, Callable[[bytearray, Any], None]] = {
+    type(None): _pack_none,
+    bool: _pack_bool,
+    int: _pack_int,
+    float: _pack_float,
+    bytes: _pack_bytes,
+    str: _pack_str,
+    list: _pack_list,
+    tuple: _pack_tuple,
+    dict: _pack_dict,
+    set: _pack_set,
+    frozenset: _pack_set,
+}
+
+
+def _pack_into(out: bytearray, obj: Any) -> None:
+    _PACK_HANDLERS.get(type(obj), _pack_other)(out, obj)
 
 
 def _pack_dtype(out: bytearray, dtype: np.dtype) -> None:
@@ -194,84 +276,148 @@ def _pack_ndarray(out: bytearray, arr: np.ndarray) -> None:
     _write_uvarint(out, arr.ndim)
     for dim in arr.shape:
         _write_uvarint(out, dim)
+    if arr.flags.c_contiguous:
+        # Append straight from the array's buffer: one copy instead of the
+        # two that tobytes() + append would make.  Same bytes either way.
+        try:
+            out += arr.data
+            return
+        except (BufferError, ValueError, TypeError):
+            pass  # dtype can't export a buffer (e.g. datetime64)
     out += np.ascontiguousarray(arr).tobytes()
 
 
 def pack(obj: Any) -> bytes:
     """Serialize ``obj`` to bytes."""
     out = bytearray()
-    _pack_into(out, obj)
+    _PACK_HANDLERS.get(type(obj), _pack_other)(out, obj)
     return bytes(out)
+
+
+def pack_into(out: bytearray, obj: Any) -> None:
+    """Append the encoding of ``obj`` to ``out`` (caller-owned buffer)."""
+    _PACK_HANDLERS.get(type(obj), _pack_other)(out, obj)
+
+
+def pack_many(objs: Iterable[Any], out: "bytearray | None" = None) -> bytes:
+    """Serialize a stream of objects into one concatenated blob.
+
+    Byte-identical to ``b"".join(pack(o) for o in objs)`` but builds the
+    whole stream in a single buffer (``out`` if supplied, so callers can
+    recycle one bytearray across batches).
+    """
+    buf = bytearray() if out is None else out
+    handlers = _PACK_HANDLERS
+    other = _pack_other
+    for obj in objs:
+        handlers.get(type(obj), other)(buf, obj)
+    return bytes(buf)
+
+
+_SIZE_SCRATCH = bytearray()
 
 
 def packed_size(obj: Any) -> int:
     """The encoded size of ``obj`` in bytes (== ``len(pack(obj))``)."""
-    return len(pack(obj))
+    scratch = _SIZE_SCRATCH
+    scratch.clear()
+    _PACK_HANDLERS.get(type(obj), _pack_other)(scratch, obj)
+    return len(scratch)
 
 
 # ---------------------------------------------------------------- unpacking
-def _unpack_from(buf: memoryview, pos: int) -> Tuple[Any, int]:
-    from .registry import lookup_by_id
+#
+# One handler per tag, indexed by the tag byte; handlers receive the
+# position *after* the tag.  A handler reading past the end raises
+# IndexError, which the public entry points convert to SerdeError.
 
-    if pos >= len(buf):
-        raise SerdeError("truncated data")
-    tag = buf[pos]
-    pos += 1
-    if tag == T_NONE:
-        return None, pos
-    if tag == T_FALSE:
-        return False, pos
-    if tag == T_TRUE:
-        return True, pos
-    if tag == T_INT:
-        zz, pos = _read_uvarint(buf, pos)
-        return _unzigzag(zz), pos
-    if tag == T_FLOAT:
-        return _F64.unpack_from(buf, pos)[0], pos + 8
-    if tag == T_BYTES:
-        n, pos = _read_uvarint(buf, pos)
-        return bytes(buf[pos : pos + n]), pos + n
-    if tag == T_STR:
-        n, pos = _read_uvarint(buf, pos)
-        return bytes(buf[pos : pos + n]).decode("utf-8"), pos + n
-    if tag in (T_LIST, T_TUPLE):
-        n, pos = _read_uvarint(buf, pos)
-        items = []
-        for _ in range(n):
-            item, pos = _unpack_from(buf, pos)
-            items.append(item)
-        return (items if tag == T_LIST else tuple(items)), pos
-    if tag == T_DICT:
-        n, pos = _read_uvarint(buf, pos)
-        d = {}
-        for _ in range(n):
-            key, pos = _unpack_from(buf, pos)
-            val, pos = _unpack_from(buf, pos)
-            d[key] = val
-        return d, pos
-    if tag == T_SET:
-        n, pos = _read_uvarint(buf, pos)
-        items = set()
-        for _ in range(n):
-            item, pos = _unpack_from(buf, pos)
-            items.add(item)
-        return items, pos
-    if tag == T_NDARRAY:
-        return _unpack_ndarray(buf, pos)
-    if tag == T_NPSCALAR:
-        n, pos = _read_uvarint(buf, pos)
-        dtype = np.dtype(bytes(buf[pos : pos + n]).decode("ascii"))
-        pos += n
-        value = np.frombuffer(buf[pos : pos + dtype.itemsize], dtype=dtype)[0]
-        return value, pos + dtype.itemsize
-    if tag == T_CUSTOM:
-        type_id, pos = _read_uvarint(buf, pos)
-        entry = lookup_by_id(type_id)
-        if entry is None:
-            raise SerdeError(f"unknown custom type id {type_id}")
-        state, pos = _unpack_from(buf, pos)
-        return entry.from_state(state), pos
-    raise SerdeError(f"unknown type tag 0x{tag:02x}")
+def _unpack_none(buf: memoryview, pos: int) -> Tuple[Any, int]:
+    return None, pos
+
+
+def _unpack_false(buf: memoryview, pos: int) -> Tuple[Any, int]:
+    return False, pos
+
+
+def _unpack_true(buf: memoryview, pos: int) -> Tuple[Any, int]:
+    return True, pos
+
+
+def _unpack_int(buf: memoryview, pos: int) -> Tuple[Any, int]:
+    b = buf[pos]
+    if b < 0x80:
+        return (b >> 1) ^ -(b & 1), pos + 1
+    zz, pos = _read_uvarint(buf, pos)
+    return (zz >> 1) ^ -(zz & 1), pos
+
+
+def _unpack_float(buf: memoryview, pos: int) -> Tuple[Any, int]:
+    return _F64_UNPACK_FROM(buf, pos)[0], pos + 8
+
+
+def _unpack_bytes(buf: memoryview, pos: int) -> Tuple[Any, int]:
+    n, pos = _read_uvarint(buf, pos)
+    return bytes(buf[pos : pos + n]), pos + n
+
+
+def _unpack_str(buf: memoryview, pos: int) -> Tuple[Any, int]:
+    n, pos = _read_uvarint(buf, pos)
+    return bytes(buf[pos : pos + n]).decode("utf-8"), pos + n
+
+
+def _unpack_list(buf: memoryview, pos: int) -> Tuple[Any, int]:
+    n, pos = _read_uvarint(buf, pos)
+    handlers = _UNPACK_HANDLERS
+    items = []
+    append = items.append
+    for _ in range(n):
+        item, pos = handlers[buf[pos]](buf, pos + 1)
+        append(item)
+    return items, pos
+
+
+def _unpack_tuple(buf: memoryview, pos: int) -> Tuple[Any, int]:
+    items, pos = _unpack_list(buf, pos)
+    return tuple(items), pos
+
+
+def _unpack_dict(buf: memoryview, pos: int) -> Tuple[Any, int]:
+    n, pos = _read_uvarint(buf, pos)
+    handlers = _UNPACK_HANDLERS
+    d = {}
+    for _ in range(n):
+        key, pos = handlers[buf[pos]](buf, pos + 1)
+        val, pos = handlers[buf[pos]](buf, pos + 1)
+        d[key] = val
+    return d, pos
+
+
+def _unpack_set(buf: memoryview, pos: int) -> Tuple[Any, int]:
+    n, pos = _read_uvarint(buf, pos)
+    handlers = _UNPACK_HANDLERS
+    items = set()
+    add = items.add
+    for _ in range(n):
+        item, pos = handlers[buf[pos]](buf, pos + 1)
+        add(item)
+    return items, pos
+
+
+def _unpack_npscalar(buf: memoryview, pos: int) -> Tuple[Any, int]:
+    n, pos = _read_uvarint(buf, pos)
+    dtype = np.dtype(bytes(buf[pos : pos + n]).decode("ascii"))
+    pos += n
+    value = np.frombuffer(buf[pos : pos + dtype.itemsize], dtype=dtype)[0]
+    return value, pos + dtype.itemsize
+
+
+def _unpack_custom(buf: memoryview, pos: int) -> Tuple[Any, int]:
+    type_id, pos = _read_uvarint(buf, pos)
+    entry = lookup_by_id(type_id)
+    if entry is None:
+        raise SerdeError(f"unknown custom type id {type_id}")
+    state, pos = _unpack_from(buf, pos)
+    return entry.from_state(state), pos
 
 
 def _unpack_ndarray(buf: memoryview, pos: int) -> Tuple[np.ndarray, int]:
@@ -287,9 +433,66 @@ def _unpack_ndarray(buf: memoryview, pos: int) -> Tuple[np.ndarray, int]:
     return arr, pos + nbytes
 
 
+def _unpack_badtag_factory(tag: int) -> Callable[[memoryview, int], Tuple[Any, int]]:
+    def _unpack_badtag(buf: memoryview, pos: int) -> Tuple[Any, int]:
+        raise SerdeError(f"unknown type tag 0x{tag:02x}")
+
+    return _unpack_badtag
+
+
+_UNPACK_HANDLERS: List[Callable[[memoryview, int], Tuple[Any, int]]] = [
+    _unpack_badtag_factory(tag) for tag in range(256)
+]
+_UNPACK_HANDLERS[T_NONE] = _unpack_none
+_UNPACK_HANDLERS[T_FALSE] = _unpack_false
+_UNPACK_HANDLERS[T_TRUE] = _unpack_true
+_UNPACK_HANDLERS[T_INT] = _unpack_int
+_UNPACK_HANDLERS[T_FLOAT] = _unpack_float
+_UNPACK_HANDLERS[T_BYTES] = _unpack_bytes
+_UNPACK_HANDLERS[T_STR] = _unpack_str
+_UNPACK_HANDLERS[T_LIST] = _unpack_list
+_UNPACK_HANDLERS[T_TUPLE] = _unpack_tuple
+_UNPACK_HANDLERS[T_DICT] = _unpack_dict
+_UNPACK_HANDLERS[T_SET] = _unpack_set
+_UNPACK_HANDLERS[T_NDARRAY] = _unpack_ndarray
+_UNPACK_HANDLERS[T_NPSCALAR] = _unpack_npscalar
+_UNPACK_HANDLERS[T_CUSTOM] = _unpack_custom
+
+
+def _unpack_from(buf: memoryview, pos: int) -> Tuple[Any, int]:
+    if pos >= len(buf):
+        raise SerdeError("truncated data")
+    return _UNPACK_HANDLERS[buf[pos]](buf, pos + 1)
+
+
 def unpack(data: bytes) -> Any:
     """Deserialize bytes produced by :func:`pack`."""
-    obj, pos = _unpack_from(memoryview(data), 0)
+    buf = memoryview(data)
+    if not buf:
+        raise SerdeError("truncated data")
+    try:
+        obj, pos = _UNPACK_HANDLERS[buf[0]](buf, 1)
+    except (IndexError, struct.error):
+        raise SerdeError("truncated data") from None
     if pos != len(data):
         raise SerdeError(f"{len(data) - pos} trailing bytes after object")
     return obj
+
+
+def unpack_many(data: bytes) -> List[Any]:
+    """Deserialize a concatenated blob produced by :func:`pack_many`."""
+    buf = memoryview(data)
+    end = len(buf)
+    handlers = _UNPACK_HANDLERS
+    out: List[Any] = []
+    append = out.append
+    pos = 0
+    try:
+        while pos < end:
+            obj, pos = handlers[buf[pos]](buf, pos + 1)
+            append(obj)
+    except (IndexError, struct.error):
+        raise SerdeError("truncated data") from None
+    if pos != end:
+        raise SerdeError(f"object ran {pos - end} bytes past the blob")
+    return out

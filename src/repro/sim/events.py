@@ -139,6 +139,10 @@ class Timeout(Event):
     The value is assigned when the delay elapses (not at creation), so
     ``triggered`` correctly reads False while the timeout is pending --
     condition events (AnyOf/AllOf) rely on this.
+
+    Timeouts are the single most-allocated event type (every modelled
+    cost is one), so construction writes the slots directly and the
+    debug ``name`` is computed lazily instead of f-formatted per event.
     """
 
     __slots__ = ("delay", "_timeout_value")
@@ -146,14 +150,60 @@ class Timeout(Event):
     def __init__(self, sim: "Simulator", delay: float, value: Any = None):  # noqa: F821
         if delay < 0:
             raise ValueError(f"negative timeout delay: {delay}")
-        super().__init__(sim, name=f"timeout({delay})")
+        self.sim = sim
+        self.callbacks = []
+        self._value = _PENDING
+        self._ok = None
+        self._processed = False
         self.delay = delay
         self._timeout_value = value
-        sim._enqueue(self, delay=delay)
+        sim._enqueue(self, delay)
+
+    @property
+    def name(self) -> str:  # shadows the base slot; computed on demand
+        return f"timeout({self.delay})"
 
     def _process(self) -> None:
         self._value = self._timeout_value
         self._ok = True
+        super()._process()
+
+
+class Callback(Event):
+    """A scheduled-callback event: the fast path behind ``sim.schedule``.
+
+    Triggers ``delay`` seconds after creation and runs ``fn()`` before
+    any attached callbacks -- equivalent to a :class:`Timeout` plus an
+    attached closure, without allocating either.  ``_defer`` skips the
+    self-enqueue so :meth:`~repro.sim.kernel.Simulator.schedule_batch`
+    can enqueue a whole batch in one pass.
+    """
+
+    __slots__ = ("fn",)
+    name = "callback"
+
+    def __init__(
+        self,
+        sim: "Simulator",  # noqa: F821
+        delay: float,
+        fn: Callable[[], None],
+        _defer: bool = False,
+    ):
+        if delay < 0:
+            raise ValueError(f"negative schedule delay: {delay}")
+        self.sim = sim
+        self.callbacks = []
+        self._value = _PENDING
+        self._ok = None
+        self._processed = False
+        self.fn = fn
+        if not _defer:
+            sim._enqueue(self, delay)
+
+    def _process(self) -> None:
+        self._value = None
+        self._ok = True
+        self.fn()
         super()._process()
 
 

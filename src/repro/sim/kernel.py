@@ -1,19 +1,26 @@
 """The discrete-event simulation kernel.
 
-:class:`Simulator` owns a priority queue of triggered events keyed by
-``(time, tiebreak_key, sequence_number)``.  By default the tiebreak key
-is a constant, so the sequence number makes execution fully
-deterministic: two events triggered for the same simulated time are
-processed in the order they were triggered.
+:class:`Simulator` owns a priority queue of triggered events.  By default
+(no tiebreaker) heap entries are ``(time, sequence_number, event)``: the
+sequence number makes execution fully deterministic -- two events
+triggered for the same simulated time are processed in the order they
+were triggered.
 
 The tiebreak key is *pluggable*: pass a ``tiebreaker`` callable to
-reorder same-timestamp events (the sequence number still breaks the
-remaining ties, so any tiebreaker yields a deterministic run).  This is
-the hook the correctness harness's schedule fuzzer
-(:mod:`repro.check.fuzz`) uses to explore adversarial interleavings --
-any application property that holds for the default FIFO order must hold
-for every tiebreaker, because same-timestamp ordering is an artifact of
-the kernel, not of the modelled machine.
+reorder same-timestamp events; entries then carry an extra key,
+``(time, tiebreak_key, sequence_number, event)`` (the sequence number
+still breaks the remaining ties, so any tiebreaker yields a
+deterministic run).  This is the hook the correctness harness's schedule
+fuzzer (:mod:`repro.check.fuzz`) uses to explore adversarial
+interleavings -- any application property that holds for the default
+FIFO order must hold for every tiebreaker, because same-timestamp
+ordering is an artifact of the kernel, not of the modelled machine.
+
+The enqueue path is specialised per shape at construction time
+(:meth:`_enqueue` is bound to the FIFO or the tiebreaker variant), so
+the no-tiebreaker hot path never branches on the hook.  The run loops
+likewise pop and dispatch inline rather than calling :meth:`step` per
+event; :meth:`step` remains the single-step API.
 
 The kernel is intentionally tiny -- the whole simulated-MPI/YGM stack is
 expressed in terms of :class:`~repro.sim.events.Event`,
@@ -24,16 +31,23 @@ expressed in terms of :class:`~repro.sim.events.Event`,
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, Generator, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Generator, Iterable, List, Optional, Sequence
 
 from .errors import DeadlockError
-from .events import AllOf, AnyOf, Event, Timeout
+from .events import AllOf, AnyOf, Callback, Event, Timeout
 
 
 #: Type of a same-timestamp ordering hook: ``tiebreaker(time, seq)``
 #: returns a sort key inserted between the timestamp and the sequence
 #: number.  Must be deterministic for reproducible runs.
 Tiebreaker = Callable[[float, int], int]
+
+#: The run loops record a wall-clock progress sample on the installed
+#: tracer every this many events (plus one at loop entry and exit), which
+#: is what :mod:`repro.trace.metrics` turns into ``events_per_sec`` /
+#: ``wall_ms`` columns.  Sampling only appends to a tracer-side list, so
+#: traced runs stay bit-identical to untraced ones.
+PROGRESS_SAMPLE_EVERY = 1024
 
 
 class Simulator:
@@ -64,10 +78,18 @@ class Simulator:
         self._now: float = 0.0
         self._seq: int = 0
         self._tiebreaker = tiebreaker
-        self._heap: List[Tuple[float, int, int, Event]] = []
+        # Heap entry shape is fixed per simulator: 3-tuples for FIFO,
+        # 4-tuples (with the tiebreak key) when a tiebreaker is given.
+        # Binding the matching enqueue variant here hoists the branch out
+        # of every triggering site.
+        if tiebreaker is None:
+            self._heap: List[tuple] = []
+            self._enqueue = self._enqueue_fifo
+        else:
+            self._heap = []
+            self._enqueue = self._enqueue_tiebreak
         #: Number of live (unfinished) processes; used for deadlock checks.
         self._live_processes: int = 0
-        #: Processes currently blocked (not finished, not on the queue).
         self._steps: int = 0
         #: Optional :class:`repro.trace.Tracer`; every layer reads its
         #: tracer from here.  ``None`` (the default) makes all trace
@@ -108,32 +130,100 @@ class Simulator:
 
         return Process(self, gen, name=name)
 
+    def process_batch(
+        self, gens: Iterable[Generator], names: Optional[Sequence[str]] = None
+    ) -> List["Process"]:  # noqa: F821
+        """Launch many processes whose init events share one timestamp.
+
+        Equivalent to calling :meth:`process` in order (identical
+        sequence numbers, hence identical schedules), but the startup
+        events go through one batched enqueue pass -- the fast path for
+        launching a whole machine's rank programs at once.
+        """
+        from .process import Process
+
+        gens = list(gens)
+        if names is None:
+            names = [""] * len(gens)
+        procs = [
+            Process(self, gen, name=name, _defer_start=True)
+            for gen, name in zip(gens, names)
+        ]
+        self._enqueue_batch([p._make_init_event() for p in procs])
+        return procs
+
     # -- queue management ------------------------------------------------------
-    def _enqueue(self, event: Event, delay: float = 0.0) -> None:
-        """Place a triggered event on the processing queue."""
-        self._seq += 1
+    def _enqueue_fifo(self, event: Event, delay: float = 0.0) -> None:
+        """Place a triggered event on the queue (no-tiebreaker fast path)."""
+        self._seq = seq = self._seq + 1
+        heapq.heappush(self._heap, (self._now + delay, seq, event))
+
+    def _enqueue_tiebreak(self, event: Event, delay: float = 0.0) -> None:
+        """Enqueue with the pluggable same-timestamp ordering key."""
+        self._seq = seq = self._seq + 1
         t = self._now + delay
-        key = 0 if self._tiebreaker is None else self._tiebreaker(t, self._seq)
-        heapq.heappush(self._heap, (t, key, self._seq, event))
+        heapq.heappush(self._heap, (t, self._tiebreaker(t, seq), seq, event))
+
+    # Kept as a plain method so subclasses/docs have a stable name; the
+    # constructor rebinds it to the matching specialisation per instance.
+    _enqueue = _enqueue_fifo
+
+    def _enqueue_batch(self, events: Sequence[Event], delay: float = 0.0) -> None:
+        """Enqueue many triggered events for the same timestamp.
+
+        One pass with hoisted locals; sequence numbers are assigned in
+        input order, so this is bit-identical to enqueueing one by one.
+        """
+        t = self._now + delay
+        heap = self._heap
+        push = heapq.heappush
+        seq = self._seq
+        if self._tiebreaker is None:
+            for ev in events:
+                seq += 1
+                push(heap, (t, seq, ev))
+        else:
+            tb = self._tiebreaker
+            for ev in events:
+                seq += 1
+                push(heap, (t, tb(t, seq), seq, ev))
+        self._seq = seq
 
     def schedule(self, delay: float, callback: Callable[[], None]) -> Event:
-        """Run ``callback()`` after ``delay`` seconds; returns the event."""
-        ev = self.timeout(delay)
-        ev.attach(lambda _ev: callback())
-        return ev
+        """Run ``callback()`` after ``delay`` seconds; returns the event.
+
+        Uses the lightweight :class:`~repro.sim.events.Callback` event --
+        no Timeout + closure pair per call.
+        """
+        return Callback(self, delay, callback)
+
+    def schedule_batch(
+        self, delay: float, callbacks: Iterable[Callable[[], None]]
+    ) -> List[Event]:
+        """Schedule many callbacks for the same future time in one pass."""
+        events = [Callback(self, delay, fn, _defer=True) for fn in callbacks]
+        self._enqueue_batch(events, delay=delay)
+        return events
 
     # -- execution -------------------------------------------------------------
     def step(self) -> None:
         """Process the single next event."""
-        t, _key, _seq, event = heapq.heappop(self._heap)
-        self._now = t
+        item = heapq.heappop(self._heap)
+        self._now = item[0]
         self._steps += 1
         tracer = self.tracer
-        if tracer is not None and tracer.wants("kernel"):
+        if tracer is not None:
+            self._trace_step(tracer, item[-1])
+        item[-1]._process()
+
+    def _trace_step(self, tracer, event: Event) -> None:
+        """Per-event trace hook + periodic wall-clock progress sample."""
+        if tracer.wants("kernel"):
             tracer.instant(
-                t, "kernel", event.name or type(event).__name__, "kernel"
+                self._now, "kernel", event.name or type(event).__name__, "kernel"
             )
-        event._process()
+        if not self._steps % PROGRESS_SAMPLE_EVERY:
+            tracer.progress(self._now, self._steps)
 
     def run(self, until: Optional[float] = None) -> None:
         """Run until the queue drains or simulated time passes ``until``.
@@ -146,24 +236,72 @@ class Simulator:
             pending event can never make progress again.)
         """
         heap = self._heap
-        while heap:
-            if until is not None and heap[0][0] > until:
-                self._now = until
-                return
-            self.step()
+        pop = heapq.heappop
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.progress(self._now, self._steps)
+        if until is None:
+            while heap:
+                item = pop(heap)
+                self._now = item[0]
+                self._steps += 1
+                tracer = self.tracer
+                if tracer is not None:
+                    self._trace_step(tracer, item[-1])
+                item[-1]._process()
+        else:
+            while heap:
+                if heap[0][0] > until:
+                    self._now = until
+                    self._finish_trace()
+                    return
+                item = pop(heap)
+                self._now = item[0]
+                self._steps += 1
+                tracer = self.tracer
+                if tracer is not None:
+                    self._trace_step(tracer, item[-1])
+                item[-1]._process()
+        self._finish_trace()
         if self._live_processes > 0:
             raise DeadlockError(self._live_processes, self._now)
+
+    def _finish_trace(self) -> None:
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.progress(self._now, self._steps)
 
     def run_until_complete(self, *processes: "Process") -> None:  # noqa: F821
         """Run until every given process has finished.
 
         Unlike :meth:`run`, other still-live processes (e.g. daemon-like
         service loops) do not count as a deadlock once the awaited
-        processes are done.
+        processes are done.  Completion is tracked by a countdown fed
+        from per-process callbacks -- O(1) per step, independent of the
+        number of awaited processes.
         """
-        pending = [p for p in processes if not p.triggered]
-        while pending:
-            if not self._heap:
+        remaining = len(processes)
+
+        def finished(_ev: Event) -> None:
+            nonlocal remaining
+            remaining -= 1
+
+        for p in processes:
+            p.attach(finished)  # runs inline if already processed
+
+        heap = self._heap
+        pop = heapq.heappop
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.progress(self._now, self._steps)
+        while remaining > 0:
+            if not heap:
                 raise DeadlockError(self._live_processes, self._now)
-            self.step()
-            pending = [p for p in pending if not p.triggered]
+            item = pop(heap)
+            self._now = item[0]
+            self._steps += 1
+            tracer = self.tracer
+            if tracer is not None:
+                self._trace_step(tracer, item[-1])
+            item[-1]._process()
+        self._finish_trace()

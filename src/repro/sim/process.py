@@ -20,7 +20,7 @@ each other::
 
 from __future__ import annotations
 
-from typing import Any, Generator
+from typing import Generator
 
 from .errors import ProcessError
 from .events import Event
@@ -31,7 +31,13 @@ class Process(Event):
 
     __slots__ = ("gen", "_waiting_on", "_blocked_since")
 
-    def __init__(self, sim: "Simulator", gen: Generator, name: str = ""):  # noqa: F821
+    def __init__(
+        self,
+        sim: "Simulator",  # noqa: F821
+        gen: Generator,
+        name: str = "",
+        _defer_start: bool = False,
+    ):
         if not hasattr(gen, "send"):
             raise TypeError(
                 f"process target must be a generator, got {type(gen).__name__}; "
@@ -45,9 +51,23 @@ class Process(Event):
         sim._live_processes += 1
         # Kick off at the current time via an initialisation event so that
         # process startup is serialized through the queue (deterministic).
-        init = Event(sim, name=f"init:{self.name}")
-        init.attach(self._resume)
-        init.succeed(None)
+        # ``_defer_start`` leaves the event to the caller
+        # (Simulator.process_batch), which enqueues a whole batch at once.
+        if not _defer_start:
+            self.sim._enqueue(self._make_init_event())
+
+    def _make_init_event(self) -> Event:
+        """The triggered startup event; caller is responsible for enqueueing."""
+        init = Event(
+            self.sim,
+            # The per-process label only matters to the kernel trace lane;
+            # skip the f-string when nobody is tracing.
+            f"init:{self.name}" if self.sim.tracer is not None else "init",
+        )
+        init.callbacks.append(self._resume)
+        init._value = None
+        init._ok = True
+        return init
 
     @property
     def is_alive(self) -> bool:

@@ -15,7 +15,7 @@ from collections import deque
 from typing import Any, Deque, Optional
 
 from .errors import EventStateError
-from .events import Event
+from .events import _PENDING, Event
 
 
 class StoreGet(Event):
@@ -24,9 +24,19 @@ class StoreGet(Event):
     __slots__ = ("store", "_cancelled")
 
     def __init__(self, store: "Store"):
-        super().__init__(store.sim, name=f"get:{store.name}")
+        # Gets are allocated on every receive poll; write the slots
+        # directly and compute the debug name lazily.
+        self.sim = store.sim
+        self.callbacks = []
+        self._value = _PENDING
+        self._ok = None
+        self._processed = False
         self.store = store
         self._cancelled = False
+
+    @property
+    def name(self) -> str:  # shadows the base slot; computed on demand
+        return f"get:{self.store.name}"
 
     @property
     def cancelled(self) -> bool:

@@ -36,12 +36,27 @@ COLUMNS = [
     "nic_utilization",
     "max_unexpected_depth",
     "max_nic_queue_depth",
+    "events",
+    "wall_ms",
+    "events_per_sec",
 ]
 
 #: Columns holding (simulated) seconds or rates; everything else is a count.
 FLOAT_COLUMNS = frozenset(
-    {"t_start", "t_end", "idle_seconds", "nic_busy_seconds", "nic_utilization"}
+    {
+        "t_start",
+        "t_end",
+        "idle_seconds",
+        "nic_busy_seconds",
+        "nic_utilization",
+        "wall_ms",
+        "events_per_sec",
+    }
 )
+
+#: Columns derived from host wall-clock time: deterministic in *shape*
+#: but not in value run-to-run.  Determinism checks project these out.
+WALL_CLOCK_COLUMNS = frozenset({"wall_ms", "events_per_sec"})
 
 #: Default number of intervals when no explicit interval is given.
 DEFAULT_BINS = 50
@@ -108,14 +123,56 @@ def compute_metrics(
                 row["max_nic_queue_depth"] = max(
                     row["max_nic_queue_depth"], ev.args["value"]
                 )
+    _fold_progress_samples(tracer, rows, interval, nbins)
     for row in rows:
         width = row["t_end"] - row["t_start"]
         if nic_count > 0 and width > 0:
             row["nic_utilization"] = row["nic_busy_seconds"] / (width * nic_count)
+        wall_s = row["wall_ms"] / 1e3
+        row["events_per_sec"] = row["events"] / wall_s if wall_s > 0 else 0.0
         for col in COLUMNS:
             if col not in FLOAT_COLUMNS:
                 row[col] = int(row[col])
     return rows
+
+
+def _fold_progress_samples(
+    tracer: Tracer, rows: List[Dict[str, float]], interval: float, nbins: int
+) -> None:
+    """Distribute kernel wall-clock progress samples over the bins.
+
+    The kernel records ``(sim_time, steps, wall_time)`` samples every
+    :data:`~repro.sim.kernel.PROGRESS_SAMPLE_EVERY` events.  Each
+    consecutive pair spans a simulated-time window; its event count and
+    wall-clock cost are spread across the bins that window overlaps,
+    proportionally to the overlap.  ``events`` is deterministic (a DES
+    step count); ``wall_ms``/``events_per_sec`` are host-dependent.
+    """
+    samples = getattr(tracer, "progress_samples", None)
+    if not samples or len(samples) < 2:
+        return
+    for (s0, st0, w0), (s1, st1, w1) in zip(samples, samples[1:]):
+        d_steps = st1 - st0
+        d_wall_ms = (w1 - w0) * 1e3
+        if d_steps <= 0 and d_wall_ms <= 0:
+            continue
+        span = s1 - s0
+        if span <= 0:
+            # All the work happened at one simulated instant.
+            row = rows[min(int(s0 / interval), nbins - 1)]
+            row["events"] += d_steps
+            row["wall_ms"] += d_wall_ms
+            continue
+        b0 = min(int(s0 / interval), nbins - 1)
+        b1 = min(int(s1 / interval), nbins - 1)
+        for b in range(b0, b1 + 1):
+            lo = max(s0, b * interval)
+            hi = s1 if b == b1 else min(s1, (b + 1) * interval)
+            frac = (hi - lo) / span
+            if frac <= 0:
+                continue
+            rows[b]["events"] += d_steps * frac
+            rows[b]["wall_ms"] += d_wall_ms * frac
 
 
 def export_metrics(

@@ -21,7 +21,8 @@ Events are fanned out to pluggable :class:`Sink` objects.  The default
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, NamedTuple, Optional, Sequence
+from time import perf_counter
+from typing import Dict, Iterable, List, NamedTuple, Optional, Sequence, Tuple
 
 
 class TraceEvent(NamedTuple):
@@ -107,6 +108,14 @@ class Tracer:
         #: lane even if some never emitted an event.
         self.nodes: int = 0
         self.cores_per_node: int = 0
+        #: Kernel progress samples ``(sim_time, events_processed,
+        #: wall_seconds)``, appended by the run loops every
+        #: :data:`~repro.sim.kernel.PROGRESS_SAMPLE_EVERY` events.  The
+        #: metrics exporter turns these into per-interval
+        #: ``events_per_sec`` / ``wall_ms`` columns.  Wall clock is
+        #: host-dependent, so these never participate in determinism
+        #: comparisons.
+        self.progress_samples: List[Tuple[float, int, float]] = []
 
     # -- wiring ------------------------------------------------------------
     def bind(self, nodes: int, cores_per_node: int) -> None:
@@ -128,6 +137,15 @@ class Tracer:
     ) -> None:
         """A duration span ``[ts, ts + dur]``."""
         self._record(TraceEvent(ts, cat, name, "X", lane, dur, args or None))
+
+    def progress(self, sim_time: float, steps: int) -> None:
+        """Record a kernel wall-clock progress sample (throughput probe).
+
+        Called by the kernel run loops; reads nothing from the
+        simulation beyond its clock and step counter, so instrumented
+        runs stay bit-identical to untraced ones.
+        """
+        self.progress_samples.append((sim_time, steps, perf_counter()))
 
     def counter(self, ts: float, cat: str, name: str, lane: str, value) -> None:
         """A sampled counter value (renders as a counter track)."""

@@ -1,0 +1,127 @@
+"""Tests for the wall-clock perf harness (``python -m repro.bench --perf``).
+
+Timing values are noise; these tests pin the *harness*: statistics,
+report schema, baseline comparison, and CLI plumbing.  Only the cheap
+microbenchmarks run (smoke mode, subset selection), so the suite stays
+fast.
+"""
+
+import json
+
+import pytest
+
+from repro.bench.perf import (
+    BENCHMARKS,
+    SCHEMA_VERSION,
+    host_fingerprint,
+    load_baseline,
+    median_iqr,
+    run_perf,
+    speedup,
+)
+
+FAST_SUBSET = ["kernel_events", "packer_small"]
+
+
+# ------------------------------------------------------------- statistics
+def test_median_iqr_odd_and_even():
+    median, iqr = median_iqr([5.0, 1.0, 3.0])
+    assert median == 3.0 and iqr == 2.0
+    median, iqr = median_iqr([1.0, 2.0, 3.0, 4.0])
+    assert median == 2.5 and iqr == pytest.approx(1.5)
+
+
+def test_median_iqr_single_value():
+    assert median_iqr([7.0]) == (7.0, 0.0)
+
+
+def test_speedup_is_direction_aware():
+    up = {"median": 200.0, "higher_is_better": True}
+    down = {"median": 0.5, "higher_is_better": False}
+    assert speedup(up, 100.0) == pytest.approx(2.0)  # throughput doubled
+    assert speedup(down, 1.0) == pytest.approx(2.0)  # wall time halved
+    assert speedup(up, 0.0) is None
+
+
+def test_host_fingerprint_identifies_interpreter():
+    info = host_fingerprint()
+    assert info["implementation"]
+    assert info["python"].count(".") >= 1
+    assert info["cpu_count"] >= 1
+
+
+# ----------------------------------------------------------------- registry
+def test_benchmark_names_are_unique_and_typed():
+    names = [s.name for s in BENCHMARKS]
+    assert len(names) == len(set(names))
+    for spec in BENCHMARKS:
+        # Macro wall-clock benches are lower-is-better; micro throughput
+        # benches higher-is-better.
+        assert spec.higher_is_better == (spec.unit != "seconds")
+
+
+# ------------------------------------------------------------------ reports
+def test_smoke_run_writes_schema_versioned_report(tmp_path):
+    out = tmp_path / "BENCH_perf.json"
+    rc = run_perf(out_path=str(out), smoke=True, only=FAST_SUBSET)
+    assert rc == 0
+    doc = json.loads(out.read_text())
+    assert doc["schema_version"] == SCHEMA_VERSION
+    assert doc["mode"] == "smoke" and doc["repeats"] == 1
+    assert set(doc["benchmarks"]) == set(FAST_SUBSET)
+    for entry in doc["benchmarks"].values():
+        assert entry["median"] > 0
+        assert len(entry["values"]) == 1
+        assert entry["iqr"] >= 0
+        assert entry["unit"] and "higher_is_better" in entry
+    assert doc["host"]["cpu_count"] >= 1
+    assert "baseline" not in doc
+
+
+def test_baseline_comparison_embeds_speedups(tmp_path):
+    base = tmp_path / "base.json"
+    out = tmp_path / "new.json"
+    run_perf(out_path=str(base), smoke=True, only=FAST_SUBSET)
+    run_perf(
+        out_path=str(out), smoke=True, only=FAST_SUBSET, baseline_path=str(base)
+    )
+    doc = json.loads(out.read_text())
+    assert doc["baseline"]["path"] == str(base)
+    assert set(doc["baseline"]["benchmarks"]) == set(FAST_SUBSET)
+    assert set(doc["speedups"]) == set(FAST_SUBSET)
+    for ratio in doc["speedups"].values():
+        assert ratio > 0
+
+
+def test_unknown_benchmark_selection_rejected(tmp_path):
+    with pytest.raises(ValueError, match="unknown benchmark"):
+        run_perf(out_path=str(tmp_path / "x.json"), smoke=True, only=["nope"])
+
+
+def test_baseline_schema_mismatch_rejected(tmp_path):
+    bad = tmp_path / "bad.json"
+    bad.write_text(json.dumps({"schema_version": SCHEMA_VERSION + 1}))
+    with pytest.raises(ValueError, match="schema_version"):
+        load_baseline(str(bad))
+    assert load_baseline(str(tmp_path / "missing.json")) is None
+
+
+# --------------------------------------------------------------------- CLI
+def test_cli_perf_flag_runs_harness(tmp_path, capsys):
+    from repro.bench.cli import main
+
+    out = tmp_path / "cli_perf.json"
+    rc = main(
+        [
+            "--perf",
+            "--smoke",
+            "--perf-out",
+            str(out),
+            "--perf-only",
+            "kernel_events",
+        ]
+    )
+    assert rc == 0
+    doc = json.loads(out.read_text())
+    assert list(doc["benchmarks"]) == ["kernel_events"]
+    assert "kernel_events" in capsys.readouterr().out

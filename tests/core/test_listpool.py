@@ -1,0 +1,65 @@
+"""Tests for the coalescing-buffer list pool (flush-path allocation reuse)."""
+
+from repro.core.coalescing import CoalescingBuffer, ListPool, P2PEntry
+
+
+def _entry(dest=0, nbytes=4):
+    return P2PEntry(dest, payload=None, nbytes=nbytes)
+
+
+def test_pool_recycles_lists():
+    pool = ListPool()
+    lst = pool.get()
+    lst.extend([1, 2, 3])
+    pool.put(lst)
+    again = pool.get()
+    assert again is lst
+    assert again == []  # cleared on return
+
+
+def test_pool_rejects_non_lists_and_respects_capacity():
+    pool = ListPool(capacity=2)
+    pool.put((1, 2))  # tuples are packet payloads too; never pooled
+    pool.put("nope")
+    assert len(pool) == 0
+    for _ in range(5):
+        pool.put([])
+    assert len(pool) == 2
+
+
+def test_buffer_take_draws_replacement_from_pool():
+    pool = ListPool()
+    recycled = [1, 2]
+    pool.put(recycled)
+    buf = CoalescingBuffer(hop=3, pool=pool)
+    first = buf.entries
+    assert first is recycled  # construction drew from the pool
+    buf.add(_entry())
+    entries, nbytes, count = buf.take()
+    assert entries is first and count == 1 and nbytes == entries[0].wire_bytes
+    assert buf.entries is not first and buf.entries == []
+    assert buf.nbytes == 0 and buf.count == 0
+
+
+def test_buffer_without_pool_allocates_fresh_lists():
+    buf = CoalescingBuffer(hop=0)
+    buf.add(_entry())
+    entries, _, _ = buf.take()
+    assert entries and buf.entries == [] and buf.entries is not entries
+
+
+def test_pooled_round_trip_preserves_contents():
+    # A flush/handle cycle through the pool never leaks entries between
+    # packets: each get() starts empty even after heavy churn.
+    pool = ListPool(capacity=4)
+    buf = CoalescingBuffer(hop=1, pool=pool)
+    seen = []
+    for round_no in range(10):
+        for i in range(round_no + 1):
+            buf.add(_entry(dest=i))
+        entries, _, count = buf.take()
+        assert count == round_no + 1
+        assert [e.dest for e in entries] == list(range(round_no + 1))
+        seen.append(len(entries))
+        pool.put(entries)  # what Mailbox._handle_packet does
+    assert seen == [n + 1 for n in range(10)]

@@ -66,3 +66,45 @@ def test_remote_delay_includes_handshake(net):
     large = net.remote_delay(net.eager_threshold)
     assert large > small
     assert small == pytest.approx(net.latency)
+
+
+# ----------------------------------------------------------- cost cache
+def test_packet_costs_matches_direct_methods(net):
+    for nbytes in (0, 1, 100, net.eager_threshold - 1, net.eager_threshold, 1 * MiB):
+        nic, delay, local = net.packet_costs(nbytes)
+        assert nic == net.nic_time(nbytes)
+        assert delay == net.remote_delay(nbytes)
+        assert local == net.local_time(nbytes)
+
+
+def test_packet_costs_is_cached(net):
+    first = net.packet_costs(4096)
+    assert net.packet_costs(4096) is first  # memoised tuple identity
+    assert 4096 in net._cost_cache
+
+
+def test_packet_costs_cache_is_per_instance(net):
+    other = net.with_overrides(latency=net.latency * 10)
+    assert other._cost_cache == {}  # replace() copies start fresh
+    net.packet_costs(64)
+    assert 64 not in other._cost_cache
+    assert other.packet_costs(64)[1] != net.packet_costs(64)[1]
+
+
+def test_packet_costs_cache_bound():
+    net = NetworkModel()
+    net._cost_cache.update({i: (0.0, 0.0, 0.0) for i in range(net._COST_CACHE_MAX)})
+    costs = net.packet_costs(net._COST_CACHE_MAX + 7)
+    # Over the bound: still correct, just not retained.
+    assert costs == (
+        net.nic_time(net._COST_CACHE_MAX + 7),
+        net.remote_delay(net._COST_CACHE_MAX + 7),
+        net.local_time(net._COST_CACHE_MAX + 7),
+    )
+    assert net._COST_CACHE_MAX + 7 not in net._cost_cache
+
+
+def test_model_equality_ignores_cache(net):
+    other = NetworkModel()
+    other.packet_costs(128)
+    assert net == other

@@ -1,0 +1,302 @@
+"""Reference encoder: the pre-optimisation packer, frozen verbatim.
+
+This is the serializer as it stood before the hot-loop rewrite of
+:mod:`repro.serde.packer` (dispatch tables, batched pack/unpack).  The
+property tests assert the optimised packer produces *byte-identical*
+output to this chain on random payloads, pinning the wire format.
+Only the relative registry imports were rewritten to absolute ones so
+the file works from the test tree; no other edits.
+
+This is the reproduction's substitute for *cereal*, the C++ serialization
+library YGM uses (paper Section IV-C).  Like cereal it provides:
+
+* support for the common container types out of the box (here: ``None``,
+  ``bool``, ``int``, ``float``, ``bytes``, ``str``, ``list``, ``tuple``,
+  ``dict``, ``set`` and NumPy arrays), so users rarely write their own
+  packing code,
+* an extension point for user types (:mod:`repro.serde.registry`),
+* deterministic, byte-accurate encoded sizes -- which is what the network
+  model consumes to time packets.
+
+The format is a type-tag byte followed by a payload.  Integers use
+zigzag varint encoding; containers are length-prefixed.  ``pickle`` is
+deliberately not used: its output size is noisy (memoisation, protocol
+framing) and the whole point here is faithful message-size accounting.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any, Tuple
+
+import numpy as np
+
+# --------------------------------------------------------------------- tags
+T_NONE = 0x00
+T_FALSE = 0x01
+T_TRUE = 0x02
+T_INT = 0x03
+T_FLOAT = 0x04
+T_BYTES = 0x05
+T_STR = 0x06
+T_LIST = 0x07
+T_TUPLE = 0x08
+T_DICT = 0x09
+T_SET = 0x0A
+T_NDARRAY = 0x0B
+T_CUSTOM = 0x0C
+T_NPSCALAR = 0x0D
+
+_F64 = struct.Struct("<d")
+
+
+class SerdeError(ValueError):
+    """Raised on unserialisable input or corrupt encoded data."""
+
+
+# ------------------------------------------------------------------ varints
+def _write_uvarint(out: bytearray, value: int) -> None:
+    while True:
+        b = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(b | 0x80)
+        else:
+            out.append(b)
+            return
+
+
+def _read_uvarint(buf: memoryview, pos: int) -> Tuple[int, int]:
+    shift = 0
+    value = 0
+    while True:
+        if pos >= len(buf):
+            raise SerdeError("truncated varint")
+        b = buf[pos]
+        pos += 1
+        value |= (b & 0x7F) << shift
+        if not (b & 0x80):
+            return value, pos
+        shift += 7
+
+
+def _zigzag(value: int) -> int:
+    return (value << 1) ^ (value >> 63) if -(2**63) <= value < 2**63 else _big_zigzag(value)
+
+
+def _big_zigzag(value: int) -> int:
+    # Arbitrary-precision zigzag for ints outside int64.
+    return value * 2 if value >= 0 else -value * 2 - 1
+
+
+def _unzigzag(value: int) -> int:
+    return (value >> 1) ^ -(value & 1)
+
+
+# ------------------------------------------------------------------ packing
+def _pack_into(out: bytearray, obj: Any) -> None:
+    from repro.serde.registry import lookup_by_type
+
+    if obj is None:
+        out.append(T_NONE)
+    elif obj is False:
+        out.append(T_FALSE)
+    elif obj is True:
+        out.append(T_TRUE)
+    elif type(obj) is int:
+        out.append(T_INT)
+        _write_uvarint(out, _big_zigzag(obj))
+    elif type(obj) is float:
+        out.append(T_FLOAT)
+        out += _F64.pack(obj)
+    elif type(obj) is bytes:
+        out.append(T_BYTES)
+        _write_uvarint(out, len(obj))
+        out += obj
+    elif type(obj) is str:
+        raw = obj.encode("utf-8")
+        out.append(T_STR)
+        _write_uvarint(out, len(raw))
+        out += raw
+    elif type(obj) is list:
+        out.append(T_LIST)
+        _write_uvarint(out, len(obj))
+        for item in obj:
+            _pack_into(out, item)
+    elif type(obj) is tuple:
+        out.append(T_TUPLE)
+        _write_uvarint(out, len(obj))
+        for item in obj:
+            _pack_into(out, item)
+    elif type(obj) is dict:
+        out.append(T_DICT)
+        _write_uvarint(out, len(obj))
+        for key, val in obj.items():
+            _pack_into(out, key)
+            _pack_into(out, val)
+    elif type(obj) in (set, frozenset):
+        out.append(T_SET)
+        _write_uvarint(out, len(obj))
+        # Sort by encoding for deterministic output.
+        encoded = sorted(pack(item) for item in obj)
+        for enc in encoded:
+            out += enc
+    elif isinstance(obj, np.ndarray):
+        _pack_ndarray(out, obj)
+    elif isinstance(obj, np.generic):
+        out.append(T_NPSCALAR)
+        descr = obj.dtype.str.encode("ascii")
+        _write_uvarint(out, len(descr))
+        out += descr
+        out += obj.tobytes()
+    else:
+        entry = lookup_by_type(type(obj))
+        if entry is None:
+            raise SerdeError(
+                f"cannot serialize {type(obj).__name__}; register it with "
+                "repro.serde.register()"
+            )
+        out.append(T_CUSTOM)
+        _write_uvarint(out, entry.type_id)
+        _pack_into(out, entry.to_state(obj))
+
+
+def _pack_dtype(out: bytearray, dtype: np.dtype) -> None:
+    """Encode a dtype: flag 0 + string form, or flag 1 + structured descr."""
+    if dtype.names:
+        out.append(1)
+        # descr is a nested list/tuple/str structure; reuse the packer.
+        _pack_into(out, _descr_to_plain(dtype.descr))
+    else:
+        out.append(0)
+        descr = dtype.str.encode("ascii")
+        _write_uvarint(out, len(descr))
+        out += descr
+
+
+def _descr_to_plain(descr):
+    """Normalise np.dtype.descr into pure lists/tuples/str/int."""
+    plain = []
+    for entry in descr:
+        plain.append(tuple(_descr_to_plain(e) if isinstance(e, list) else e for e in entry))
+    return plain
+
+
+def _unpack_dtype(buf: memoryview, pos: int) -> Tuple[np.dtype, int]:
+    flag = buf[pos]
+    pos += 1
+    if flag == 1:
+        descr, pos = _unpack_from(buf, pos)
+        return np.dtype([tuple(e) for e in descr]), pos
+    n, pos = _read_uvarint(buf, pos)
+    dtype = np.dtype(bytes(buf[pos : pos + n]).decode("ascii"))
+    return dtype, pos + n
+
+
+def _pack_ndarray(out: bytearray, arr: np.ndarray) -> None:
+    if arr.dtype.hasobject:
+        raise SerdeError("object-dtype arrays are not serialisable")
+    out.append(T_NDARRAY)
+    _pack_dtype(out, arr.dtype)
+    _write_uvarint(out, arr.ndim)
+    for dim in arr.shape:
+        _write_uvarint(out, dim)
+    out += np.ascontiguousarray(arr).tobytes()
+
+
+def pack(obj: Any) -> bytes:
+    """Serialize ``obj`` to bytes."""
+    out = bytearray()
+    _pack_into(out, obj)
+    return bytes(out)
+
+
+def packed_size(obj: Any) -> int:
+    """The encoded size of ``obj`` in bytes (== ``len(pack(obj))``)."""
+    return len(pack(obj))
+
+
+# ---------------------------------------------------------------- unpacking
+def _unpack_from(buf: memoryview, pos: int) -> Tuple[Any, int]:
+    from repro.serde.registry import lookup_by_id
+
+    if pos >= len(buf):
+        raise SerdeError("truncated data")
+    tag = buf[pos]
+    pos += 1
+    if tag == T_NONE:
+        return None, pos
+    if tag == T_FALSE:
+        return False, pos
+    if tag == T_TRUE:
+        return True, pos
+    if tag == T_INT:
+        zz, pos = _read_uvarint(buf, pos)
+        return _unzigzag(zz), pos
+    if tag == T_FLOAT:
+        return _F64.unpack_from(buf, pos)[0], pos + 8
+    if tag == T_BYTES:
+        n, pos = _read_uvarint(buf, pos)
+        return bytes(buf[pos : pos + n]), pos + n
+    if tag == T_STR:
+        n, pos = _read_uvarint(buf, pos)
+        return bytes(buf[pos : pos + n]).decode("utf-8"), pos + n
+    if tag in (T_LIST, T_TUPLE):
+        n, pos = _read_uvarint(buf, pos)
+        items = []
+        for _ in range(n):
+            item, pos = _unpack_from(buf, pos)
+            items.append(item)
+        return (items if tag == T_LIST else tuple(items)), pos
+    if tag == T_DICT:
+        n, pos = _read_uvarint(buf, pos)
+        d = {}
+        for _ in range(n):
+            key, pos = _unpack_from(buf, pos)
+            val, pos = _unpack_from(buf, pos)
+            d[key] = val
+        return d, pos
+    if tag == T_SET:
+        n, pos = _read_uvarint(buf, pos)
+        items = set()
+        for _ in range(n):
+            item, pos = _unpack_from(buf, pos)
+            items.add(item)
+        return items, pos
+    if tag == T_NDARRAY:
+        return _unpack_ndarray(buf, pos)
+    if tag == T_NPSCALAR:
+        n, pos = _read_uvarint(buf, pos)
+        dtype = np.dtype(bytes(buf[pos : pos + n]).decode("ascii"))
+        pos += n
+        value = np.frombuffer(buf[pos : pos + dtype.itemsize], dtype=dtype)[0]
+        return value, pos + dtype.itemsize
+    if tag == T_CUSTOM:
+        type_id, pos = _read_uvarint(buf, pos)
+        entry = lookup_by_id(type_id)
+        if entry is None:
+            raise SerdeError(f"unknown custom type id {type_id}")
+        state, pos = _unpack_from(buf, pos)
+        return entry.from_state(state), pos
+    raise SerdeError(f"unknown type tag 0x{tag:02x}")
+
+
+def _unpack_ndarray(buf: memoryview, pos: int) -> Tuple[np.ndarray, int]:
+    dtype, pos = _unpack_dtype(buf, pos)
+    ndim, pos = _read_uvarint(buf, pos)
+    shape = []
+    for _ in range(ndim):
+        dim, pos = _read_uvarint(buf, pos)
+        shape.append(dim)
+    count = int(np.prod(shape)) if shape else 1
+    nbytes = count * dtype.itemsize
+    arr = np.frombuffer(buf[pos : pos + nbytes], dtype=dtype).reshape(shape).copy()
+    return arr, pos + nbytes
+
+
+def unpack(data: bytes) -> Any:
+    """Deserialize bytes produced by :func:`pack`."""
+    obj, pos = _unpack_from(memoryview(data), 0)
+    if pos != len(data):
+        raise SerdeError(f"{len(data) - pos} trailing bytes after object")
+    return obj

@@ -146,3 +146,56 @@ def test_max_size_payloads_roundtrip():
     # Size accounting stays byte-accurate at scale: the payload body
     # dominates and the framing overhead is tiny.
     assert abs(packed_size(arr) - arr.nbytes) < 64
+
+
+# ------------------------------------------------- reference encoding
+# The optimised packer (dispatch tables, batched APIs) must emit the
+# exact bytes of the pre-optimisation elif-chain encoder, frozen in
+# ``reference_packer.py``.  Sets are excluded from the random payloads
+# above, so fold them in here explicitly.
+
+from repro.serde import pack_many, unpack_many  # noqa: E402
+
+from . import reference_packer as reference  # noqa: E402
+
+_payloads_with_sets = st.one_of(
+    _payloads,
+    st.sets(st.integers(min_value=-(2**40), max_value=2**40), max_size=8),
+    st.frozensets(st.text(max_size=8), max_size=6),
+)
+
+
+@given(_payloads_with_sets)
+@SEEDED
+def test_pack_matches_reference_encoding(obj):
+    assert pack(obj) == reference.pack(obj)
+
+
+@given(spec_and_batch())
+@SEEDED
+def test_record_batches_match_reference_encoding(params):
+    _, batch = params
+    assert pack(batch) == reference.pack(batch)
+
+
+@given(st.lists(_payloads_with_sets, max_size=8))
+@SEEDED
+def test_pack_many_is_concatenation_of_reference_singles(objs):
+    blob = pack_many(objs)
+    assert blob == b"".join(reference.pack(obj) for obj in objs)
+    assert unpack_many(blob) == [reference.unpack(reference.pack(o)) for o in objs]
+
+
+@given(spec_and_batch(), st.integers(1, 4))
+@SEEDED
+def test_pack_many_record_stream_matches_reference(params, copies):
+    _, batch = params
+    objs = [batch] * copies + [("hdr", len(batch))]
+    blob = pack_many(objs)
+    assert blob == b"".join(reference.pack(o) for o in objs)
+    out = unpack_many(blob)
+    assert len(out) == copies + 1
+    for got in out[:copies]:
+        assert got.tobytes() == batch.tobytes()
+        assert got.dtype == batch.dtype
+    assert out[-1] == ("hdr", len(batch))
