@@ -11,6 +11,11 @@ way they do:
 * NLNR vs hybrid NLNR -- the Section VII MPI+threads projection,
 * straggler imbalance -- YGM's pseudo-asynchrony vs the BSP baseline
   (the introduction's motivating scenario).
+
+All sweeps share one parametrized degree-counting cell
+(:func:`degree_cell`); the straggler comparison has its own cells.
+Cells go through :mod:`repro.exec`, so ablations parallelize and cache
+like the figures do.
 """
 
 from __future__ import annotations
@@ -21,9 +26,52 @@ import numpy as np
 
 from ..apps import make_degree_counting
 from ..baselines import make_bsp_degree_counting
+from ..exec import Job, Pool, run_jobs
 from ..graph import er_stream
+from ..machine import bench_machine
 from .harness import SweepConfig, run_mpi, run_ygm
 from .report import Table
+
+
+def degree_cell(
+    *,
+    nodes: int,
+    cores: int,
+    scheme: str,
+    capacity: int,
+    batch_size: int,
+    edges_per_rank: int,
+    num_vertices: int,
+    seed: int,
+    eager_threshold: Optional[int] = None,
+) -> dict:
+    """One degree-counting run, returning every stat the ablations read."""
+    stream = er_stream(
+        num_vertices=num_vertices, edges_per_rank=edges_per_rank, seed=seed
+    )
+    overrides = {}
+    if eager_threshold is not None:
+        overrides["eager_threshold"] = eager_threshold
+    machine = bench_machine(nodes, cores_per_node=cores, **overrides)
+    res = run_ygm(
+        make_degree_counting(stream, batch_size=batch_size),
+        machine,
+        scheme,
+        capacity,
+        seed=seed,
+    )
+    stats = res.mailbox_stats
+    return {
+        "seconds": res.elapsed,
+        "avg_remote_pkt_B": stats.avg_remote_packet_bytes,
+        "flushes": stats.flushes,
+        "local_bytes": stats.local_bytes_sent,
+        "remote_bytes": stats.remote_bytes_sent,
+    }
+
+
+def _degree_job(label: str, **kwargs) -> Job:
+    return Job(fn="repro.bench.ablations:degree_cell", kwargs=kwargs, label=label)
 
 
 def run_capacity_sweep(
@@ -33,6 +81,7 @@ def run_capacity_sweep(
     edges_per_rank: int = 2**12,
     scheme: str = "node_remote",
     seed: int = 0,
+    pool: Optional[Pool] = None,
 ) -> Table:
     """Mailbox capacity vs runtime: small mailboxes flush tiny packets.
 
@@ -40,27 +89,33 @@ def run_capacity_sweep(
     that the mailbox *capacity* -- not the application batch size --
     governs the flush granularity, as with the paper's per-message sends.
     """
-    sweep = SweepConfig(cores_per_node=cores, node_counts=(nodes,), mailbox_capacity=0)
     table = Table(
         title=f"Ablation: mailbox capacity sweep ({scheme}, N={nodes}, C={cores})",
         columns=["capacity", "seconds", "avg_remote_pkt_B", "flushes"],
     )
-    stream = er_stream(
-        num_vertices=1024 * nodes * cores, edges_per_rank=edges_per_rank, seed=seed
+    cells = run_jobs(
+        [
+            _degree_job(
+                f"ablation capacity={cap}",
+                nodes=nodes,
+                cores=cores,
+                scheme=scheme,
+                capacity=cap,
+                batch_size=32,
+                edges_per_rank=edges_per_rank,
+                num_vertices=1024 * nodes * cores,
+                seed=seed,
+            )
+            for cap in capacities
+        ],
+        pool,
     )
-    for cap in capacities:
-        res = run_ygm(
-            make_degree_counting(stream, batch_size=32),
-            sweep.machine(nodes),
-            scheme,
-            cap,
-            seed=seed,
-        )
+    for cap, cell in zip(capacities, cells):
         table.add(
             capacity=cap,
-            seconds=res.elapsed,
-            avg_remote_pkt_B=res.mailbox_stats.avg_remote_packet_bytes,
-            flushes=res.mailbox_stats.flushes,
+            seconds=cell["seconds"],
+            avg_remote_pkt_B=cell["avg_remote_pkt_B"],
+            flushes=cell["flushes"],
         )
     table.note("larger mailboxes -> bigger packets -> less per-packet overhead")
     return table
@@ -72,33 +127,42 @@ def run_cores_sweep(
     edges_per_rank: int = 2**12,
     capacity: int = 2**12,
     seed: int = 0,
+    pool: Optional[Pool] = None,
 ) -> Table:
     """Section III-E: the NLNR advantage over NodeRemote grows with C."""
     table = Table(
         title=f"Ablation: cores-per-node sweep (N={nodes})",
         columns=["cores", "scheme", "seconds", "avg_remote_pkt_B"],
     )
-    for cores in cores_options:
-        sweep = SweepConfig(
-            cores_per_node=cores, node_counts=(nodes,), mailbox_capacity=capacity
-        )
-        stream = er_stream(
-            num_vertices=1024 * nodes * cores, edges_per_rank=edges_per_rank, seed=seed
-        )
-        for scheme in ("node_remote", "nlnr"):
-            res = run_ygm(
-                make_degree_counting(stream, batch_size=2**12),
-                sweep.machine(nodes),
-                scheme,
-                capacity,
-                seed=seed,
-            )
-            table.add(
+    grid = [
+        (cores, scheme)
+        for cores in cores_options
+        for scheme in ("node_remote", "nlnr")
+    ]
+    cells = run_jobs(
+        [
+            _degree_job(
+                f"ablation cores={cores} {scheme}",
+                nodes=nodes,
                 cores=cores,
                 scheme=scheme,
-                seconds=res.elapsed,
-                avg_remote_pkt_B=res.mailbox_stats.avg_remote_packet_bytes,
+                capacity=capacity,
+                batch_size=2**12,
+                edges_per_rank=edges_per_rank,
+                num_vertices=1024 * nodes * cores,
+                seed=seed,
             )
+            for cores, scheme in grid
+        ],
+        pool,
+    )
+    for (cores, scheme), cell in zip(grid, cells):
+        table.add(
+            cores=cores,
+            scheme=scheme,
+            seconds=cell["seconds"],
+            avg_remote_pkt_B=cell["avg_remote_pkt_B"],
+        )
     table.note("NLNR's avg packet is C x NodeRemote's: the gap widens with C")
     return table
 
@@ -110,6 +174,7 @@ def run_eager_threshold_sweep(
     capacity: int = 2**12,
     edges_per_rank: int = 2**12,
     seed: int = 0,
+    pool: Optional[Pool] = None,
 ) -> Table:
     """Where the protocol switch sits changes which scheme's packets ride
     the fast path."""
@@ -117,23 +182,31 @@ def run_eager_threshold_sweep(
         title=f"Ablation: eager/rendezvous threshold sweep (N={nodes}, C={cores})",
         columns=["threshold", "scheme", "seconds"],
     )
-    stream = er_stream(
-        num_vertices=1024 * nodes * cores, edges_per_rank=edges_per_rank, seed=seed
-    )
-    for threshold in thresholds:
-        for scheme in ("node_remote", "nlnr"):
-            sweep = SweepConfig(
-                cores_per_node=cores, node_counts=(nodes,), mailbox_capacity=capacity
-            )
-            machine = sweep.machine(nodes, eager_threshold=threshold)
-            res = run_ygm(
-                make_degree_counting(stream, batch_size=2**12),
-                machine,
-                scheme,
-                capacity,
+    grid = [
+        (threshold, scheme)
+        for threshold in thresholds
+        for scheme in ("node_remote", "nlnr")
+    ]
+    cells = run_jobs(
+        [
+            _degree_job(
+                f"ablation eager={threshold} {scheme}",
+                nodes=nodes,
+                cores=cores,
+                scheme=scheme,
+                capacity=capacity,
+                batch_size=2**12,
+                edges_per_rank=edges_per_rank,
+                num_vertices=1024 * nodes * cores,
                 seed=seed,
+                eager_threshold=threshold,
             )
-            table.add(threshold=threshold, scheme=scheme, seconds=res.elapsed)
+            for threshold, scheme in grid
+        ],
+        pool,
+    )
+    for (threshold, scheme), cell in zip(grid, cells):
+        table.add(threshold=threshold, scheme=scheme, seconds=cell["seconds"])
     return table
 
 
@@ -143,33 +216,125 @@ def run_hybrid_comparison(
     capacity: int = 2**12,
     edges_per_rank: int = 2**12,
     seed: int = 0,
+    pool: Optional[Pool] = None,
 ) -> Table:
     """Section VII: hybrid MPI+threads NLNR removes on-node copy costs."""
     table = Table(
         title=f"Ablation: NLNR vs hybrid (free local hops), N={nodes}, C={cores}",
         columns=["scheme", "seconds", "local_bytes", "remote_bytes"],
     )
-    sweep = SweepConfig(
-        cores_per_node=cores, node_counts=(nodes,), mailbox_capacity=capacity
+    schemes = ("node_local", "node_remote", "nlnr", "nlnr_hybrid")
+    cells = run_jobs(
+        [
+            _degree_job(
+                f"ablation hybrid {scheme}",
+                nodes=nodes,
+                cores=cores,
+                scheme=scheme,
+                capacity=capacity,
+                batch_size=2**12,
+                edges_per_rank=edges_per_rank,
+                num_vertices=1024 * nodes * cores,
+                seed=seed,
+            )
+            for scheme in schemes
+        ],
+        pool,
     )
+    for scheme, cell in zip(schemes, cells):
+        table.add(
+            scheme=scheme,
+            seconds=cell["seconds"],
+            local_bytes=cell["local_bytes"],
+            remote_bytes=cell["remote_bytes"],
+        )
+    return table
+
+
+def bsp_straggler_cell(
+    *,
+    nodes: int,
+    cores: int,
+    edges_per_rank: int,
+    batch_size: int,
+    straggler_delay: float,
+    seed: int,
+) -> dict:
+    """The BSP baseline under a straggler: rank 0 pays extra per batch."""
     stream = er_stream(
         num_vertices=1024 * nodes * cores, edges_per_rank=edges_per_rank, seed=seed
     )
-    for scheme in ("node_local", "node_remote", "nlnr", "nlnr_hybrid"):
-        res = run_ygm(
-            make_degree_counting(stream, batch_size=2**12),
-            sweep.machine(nodes),
-            scheme,
-            capacity,
-            seed=seed,
-        )
-        table.add(
-            scheme=scheme,
-            seconds=res.elapsed,
-            local_bytes=res.mailbox_stats.local_bytes_sent,
-            remote_bytes=res.mailbox_stats.remote_bytes_sent,
-        )
-    return table
+
+    def skew(rank: int, step: int) -> float:
+        return straggler_delay if rank == 0 else 0.0
+
+    # BSP: the exchange is inside every superstep, so a rank's own work
+    # is not done until the last superstep completes -- its finish time.
+    res = run_mpi(
+        make_bsp_degree_counting(stream, batch_size=batch_size, compute_skew=skew),
+        bench_machine(nodes, cores_per_node=cores),
+        seed=seed,
+    )
+    return {
+        "makespan": res.elapsed,
+        "avg_work_done_others": float(np.mean(res.finish_times[1:])),
+    }
+
+
+def ygm_straggler_cell(
+    *,
+    nodes: int,
+    cores: int,
+    scheme: str,
+    capacity: int,
+    edges_per_rank: int,
+    batch_size: int,
+    straggler_delay: float,
+    seed: int,
+) -> dict:
+    """YGM under the same straggler, recording own-work completion."""
+    stream = er_stream(
+        num_vertices=1024 * nodes * cores, edges_per_rank=edges_per_rank, seed=seed
+    )
+    work_done = np.zeros(nodes * cores)
+
+    # The degree-count loop is inlined (rather than reusing
+    # make_degree_counting) so the straggler's per-batch delay can be
+    # interposed and the own-work completion time recorded.
+    def ygm_app(ctx):
+        from repro.apps.degree_count import DEGREE_SPEC
+        from repro.graph.partition import CyclicPartition
+
+        part = CyclicPartition(stream.num_vertices, ctx.nranks)
+        degrees = np.zeros(part.local_count(ctx.rank), dtype=np.int64)
+
+        def on_batch(b):
+            ids = part.local_id_vec(b["vertex"].astype(np.int64))
+            degrees[:] += np.bincount(ids, minlength=len(degrees))
+
+        mb = ctx.mailbox(recv_batch=on_batch, capacity=capacity)
+        for u, v in stream.batches(ctx.rank, batch_size):
+            yield ctx.compute(len(u) * ctx.machine.config.compute.per_edge_gen)
+            yield ctx.compute(straggler_delay if ctx.rank == 0 else 0.0)
+            verts = np.concatenate((u, v))
+            yield from mb.send_batch(
+                part.owner_vec(verts),
+                DEGREE_SPEC.build(vertex=verts.astype("u8")),
+                spec=DEGREE_SPEC,
+            )
+        yield from mb.flush()
+        work_done[ctx.rank] = ctx.sim.now  # own work complete here
+        yield from mb.wait_empty()
+        return degrees
+
+    res = run_ygm(
+        ygm_app, bench_machine(nodes, cores_per_node=cores), scheme, capacity,
+        seed=seed,
+    )
+    return {
+        "makespan": res.elapsed,
+        "avg_work_done_others": float(np.mean(work_done[1:])),
+    }
 
 
 def run_straggler_comparison(
@@ -179,6 +344,7 @@ def run_straggler_comparison(
     capacity: int = 2**10,
     straggler_delay: float = 5e-4,
     seed: int = 0,
+    pool: Optional[Pool] = None,
 ) -> Table:
     """The motivating scenario: one slow rank.
 
@@ -197,71 +363,37 @@ def run_straggler_comparison(
         f"(N={nodes}, C={cores}, straggler +{straggler_delay}s/batch)",
         columns=["impl", "makespan", "avg_work_done_others"],
     )
-    stream = er_stream(
-        num_vertices=1024 * nodes * cores, edges_per_rank=edges_per_rank, seed=seed
-    )
-    sweep = SweepConfig(
-        cores_per_node=cores, node_counts=(nodes,), mailbox_capacity=capacity
-    )
     batch = 2**10
-
-    def skew(rank: int, step: int) -> float:
-        return straggler_delay if rank == 0 else 0.0
-
-    # BSP: the exchange is inside every superstep, so a rank's own work
-    # is not done until the last superstep completes -- its finish time.
-    res_bsp = run_mpi(
-        make_bsp_degree_counting(stream, batch_size=batch, compute_skew=skew),
-        sweep.machine(nodes),
+    common = dict(
+        nodes=nodes,
+        cores=cores,
+        edges_per_rank=edges_per_rank,
+        batch_size=batch,
+        straggler_delay=straggler_delay,
         seed=seed,
     )
-    table.add(
-        impl="bsp_alltoallv",
-        makespan=res_bsp.elapsed,
-        avg_work_done_others=float(np.mean(res_bsp.finish_times[1:])),
-    )
-
-    def make_ygm_app(work_done):
-        # The degree-count loop is inlined (rather than reusing
-        # make_degree_counting) so the straggler's per-batch delay can be
-        # interposed and the own-work completion time recorded.
-        def ygm_app(ctx):
-            from repro.graph.partition import CyclicPartition
-            from repro.apps.degree_count import DEGREE_SPEC
-
-            part = CyclicPartition(stream.num_vertices, ctx.nranks)
-            degrees = np.zeros(part.local_count(ctx.rank), dtype=np.int64)
-
-            def on_batch(b):
-                ids = part.local_id_vec(b["vertex"].astype(np.int64))
-                degrees[:] += np.bincount(ids, minlength=len(degrees))
-
-            mb = ctx.mailbox(recv_batch=on_batch, capacity=capacity)
-            for u, v in stream.batches(ctx.rank, batch):
-                yield ctx.compute(len(u) * ctx.machine.config.compute.per_edge_gen)
-                yield ctx.compute(skew(ctx.rank, 0))
-                verts = np.concatenate((u, v))
-                yield from mb.send_batch(
-                    part.owner_vec(verts),
-                    DEGREE_SPEC.build(vertex=verts.astype("u8")),
-                    spec=DEGREE_SPEC,
-                )
-            yield from mb.flush()
-            work_done[ctx.rank] = ctx.sim.now  # own work complete here
-            yield from mb.wait_empty()
-            return degrees
-
-        return ygm_app
-
-    for scheme in ("node_remote", "nlnr"):
-        work_done = np.zeros(nodes * cores)
-        res = run_ygm(
-            make_ygm_app(work_done), sweep.machine(nodes), scheme, capacity, seed=seed
+    schemes = ("node_remote", "nlnr")
+    jobs = [
+        Job(
+            fn="repro.bench.ablations:bsp_straggler_cell",
+            kwargs=common,
+            label="ablation straggler bsp",
         )
+    ] + [
+        Job(
+            fn="repro.bench.ablations:ygm_straggler_cell",
+            kwargs=dict(common, scheme=scheme, capacity=capacity),
+            label=f"ablation straggler {scheme}",
+        )
+        for scheme in schemes
+    ]
+    cells = run_jobs(jobs, pool)
+    impls = ["bsp_alltoallv"] + [f"ygm/{s}" for s in schemes]
+    for impl, cell in zip(impls, cells):
         table.add(
-            impl=f"ygm/{scheme}",
-            makespan=res.elapsed,
-            avg_work_done_others=float(np.mean(work_done[1:])),
+            impl=impl,
+            makespan=cell["makespan"],
+            avg_work_done_others=cell["avg_work_done_others"],
         )
     table.note(
         "avg_work_done_others: mean time non-straggler ranks finished their "

@@ -9,6 +9,11 @@ reports:
    scenario (perturbed same-timestamp interleavings, invariants plus
    baseline-equality asserted per run).
 
+Both pillars fan out through the job pool when one is supplied
+(``--jobs N``): the oracle's 60 configs run as independent cells, the
+fuzzer shards its seed range across workers.  Results are merged in
+deterministic order, so the verdicts match a serial run exactly.
+
 Returns a process exit code: 0 when every check passes, 1 otherwise.
 """
 
@@ -22,18 +27,19 @@ def run_check(
     fuzz_runs: int = 50,
     apps: Optional[Sequence[str]] = None,
     scales: Optional[Sequence[str]] = None,
+    pool=None,
 ) -> int:
-    from ..check import fuzz_schedules, mailbox_quiescence_scenario, run_oracle
+    from ..check import fuzz_schedules_sharded, run_oracle
 
     ok = True
 
-    report = run_oracle(apps=apps, scales=scales, seed=seed)
+    report = run_oracle(apps=apps, scales=scales, seed=seed, pool=pool)
     print(report.render())
     ok &= report.ok
 
     print()
-    fuzz = fuzz_schedules(
-        mailbox_quiescence_scenario(seed=seed), runs=fuzz_runs, seed=seed
+    fuzz = fuzz_schedules_sharded(
+        runs=fuzz_runs, seed=seed, scenario={"seed": seed}, pool=pool
     )
     print(fuzz.render())
     ok &= fuzz.ok

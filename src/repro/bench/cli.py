@@ -23,6 +23,16 @@ reflects whether every check passed.
 of the DES stack itself, written to a schema-versioned
 ``BENCH_perf.json`` for cross-PR trajectory tracking.  ``--smoke``
 shrinks it to one repeat at tiny scale (the CI ``perf-smoke`` job).
+
+Multi-simulation modes (figures, ablations, ``--check``, ``--perf``)
+fan their independent simulations out over a process pool
+(:mod:`repro.exec`): ``--jobs N`` sets the worker count (default: all
+visible CPUs; ``--jobs 1`` is the serial path and produces
+byte-identical tables).  Completed cells land in an on-disk
+content-addressed cache (``.repro-cache/``; keyed by config *and* a
+hash of the ``repro`` sources, so code edits invalidate it
+automatically), making re-runs of unchanged sweeps near-instant.
+``--no-cache`` disables it, ``--clear-cache`` empties it first.
 """
 
 from __future__ import annotations
@@ -30,43 +40,46 @@ from __future__ import annotations
 import argparse
 import sys
 import time
-from typing import List
+from typing import List, Optional
 
+from ..exec import Pool
 from .harness import SweepConfig
 
 FIGS = ["5", "6a", "6b", "7a", "7b", "8a", "8c", "8d"]
 ABLATIONS = ["capacity", "cores", "eager", "hybrid", "straggler"]
 
 
-def run_figure(fig: str, sweep: SweepConfig, quick: bool):
+def run_figure(
+    fig: str, sweep: SweepConfig, quick: bool, pool: Optional[Pool] = None
+):
     from . import ablations, fig5, fig6, fig7, fig8
 
     if fig == "5":
-        return [fig5.run(quick=quick)]
+        return [fig5.run(quick=quick, pool=pool)]
     if fig == "6a":
-        return [fig6.run_weak(sweep)]
+        return [fig6.run_weak(sweep, pool=pool)]
     if fig == "6b":
-        return [fig6.run_strong(sweep)]
+        return [fig6.run_strong(sweep, pool=pool)]
     if fig == "7a":
-        return [fig7.run_weak(sweep)]
+        return [fig7.run_weak(sweep, pool=pool)]
     if fig == "7b":
-        return [fig7.run_strong(sweep)]
+        return [fig7.run_strong(sweep, pool=pool)]
     if fig == "8a" or fig == "8b":
-        return [fig8.run_weak(sweep, skewed=True)]
+        return [fig8.run_weak(sweep, skewed=True, pool=pool)]
     if fig == "8c":
-        return [fig8.run_weak(sweep, skewed=False)]
+        return [fig8.run_weak(sweep, skewed=False, pool=pool)]
     if fig == "8d":
-        return [fig8.run_strong_webgraph(sweep)]
+        return [fig8.run_strong_webgraph(sweep, pool=pool)]
     if fig == "capacity":
-        return [ablations.run_capacity_sweep()]
+        return [ablations.run_capacity_sweep(pool=pool)]
     if fig == "cores":
-        return [ablations.run_cores_sweep()]
+        return [ablations.run_cores_sweep(pool=pool)]
     if fig == "eager":
-        return [ablations.run_eager_threshold_sweep()]
+        return [ablations.run_eager_threshold_sweep(pool=pool)]
     if fig == "hybrid":
-        return [ablations.run_hybrid_comparison()]
+        return [ablations.run_hybrid_comparison(pool=pool)]
     if fig == "straggler":
-        return [ablations.run_straggler_comparison()]
+        return [ablations.run_straggler_comparison(pool=pool)]
     raise ValueError(f"unknown figure {fig!r}")
 
 
@@ -121,6 +134,39 @@ def main(argv: List[str] = None) -> int:
         "--full", action="store_true", help="larger sweep (slower, cleaner asymptotics)"
     )
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for multi-simulation modes (default: all "
+        "visible CPUs; 1 = serial, same output byte for byte)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the on-disk result cache for this invocation",
+    )
+    parser.add_argument(
+        "--clear-cache",
+        action="store_true",
+        help="empty the result cache before running anything",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="PATH",
+        default=None,
+        help="result-cache directory (default: ./.repro-cache or "
+        "$REPRO_CACHE_DIR)",
+    )
+    parser.add_argument(
+        "--job-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-job wall-clock limit; a job exceeding it is killed and "
+        "retried once, then reported as failed (default: no limit)",
+    )
     parser.add_argument(
         "--trace",
         metavar="PATH",
@@ -201,6 +247,25 @@ def main(argv: List[str] = None) -> int:
         help="with --perf: run only this benchmark (repeatable)",
     )
     args = parser.parse_args(argv)
+    if args.jobs is not None and args.jobs < 1:
+        parser.error("--jobs must be >= 1")
+
+    from ..exec import make_pool, stderr_progress
+
+    if args.clear_cache:
+        from ..exec import ResultCache
+
+        removed = ResultCache(args.cache_dir).clear()
+        print(f"# cleared {removed} cache entr{'y' if removed == 1 else 'ies'}",
+              file=sys.stderr)
+
+    pool = make_pool(
+        jobs=args.jobs,
+        use_cache=not args.no_cache,
+        cache_dir=args.cache_dir,
+        default_timeout=args.job_timeout,
+        progress=stderr_progress,
+    )
 
     if args.perf:
         from .perf import DEFAULT_REPEATS, run_perf
@@ -212,9 +277,17 @@ def main(argv: List[str] = None) -> int:
                 smoke=args.smoke,
                 baseline_path=args.perf_baseline,
                 only=args.perf_only,
+                # Timing cells must not be cached: a stale wall-clock
+                # measurement is worse than no measurement.
+                pool=Pool(
+                    jobs=pool.jobs, cache=None, progress=stderr_progress
+                ),
             )
         except (ValueError, OSError) as exc:
             parser.error(str(exc))
+        except KeyboardInterrupt:
+            print("\n# interrupted; workers terminated", file=sys.stderr)
+            return 130
 
     if args.check:
         from ..check import ORACLE_APPS, ORACLE_SCALES
@@ -231,12 +304,17 @@ def main(argv: List[str] = None) -> int:
                     f"unknown --check-scale {scale!r}; "
                     f"known: {sorted(ORACLE_SCALES)}"
                 )
-        return run_check(
-            seed=args.seed,
-            fuzz_runs=args.fuzz_runs,
-            apps=args.check_apps,
-            scales=args.check_scales,
-        )
+        try:
+            return run_check(
+                seed=args.seed,
+                fuzz_runs=args.fuzz_runs,
+                apps=args.check_apps,
+                scales=args.check_scales,
+                pool=pool,
+            )
+        except KeyboardInterrupt:
+            print("\n# interrupted; workers terminated", file=sys.stderr)
+            return 130
 
     figs = (args.figs or []) + args.figs_pos
     if not figs:
@@ -282,14 +360,31 @@ def main(argv: List[str] = None) -> int:
         print(f"# harness wall-clock: {wall:.1f}s")
         return 0
 
+    # Every figure runs even if an earlier one fails; failures are
+    # reported together at the end and the exit code reflects them.
+    failed: List[str] = []
     for fig in expanded:
         start = time.perf_counter()
-        tables = run_figure(fig, sweep, quick=not args.full)
+        try:
+            tables = run_figure(fig, sweep, quick=not args.full, pool=pool)
+        except KeyboardInterrupt:
+            print("\n# interrupted; workers terminated", file=sys.stderr)
+            return 130
+        except Exception as exc:
+            failed.append(fig)
+            print(f"# figure {fig} FAILED: {exc}", file=sys.stderr)
+            continue
         wall = time.perf_counter() - start
         for table in tables:
             print(table.render())
             print(f"# harness wall-clock: {wall:.1f}s")
             print()
+    if failed:
+        print(
+            f"# {len(failed)} figure(s) failed: {', '.join(failed)}",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 

@@ -6,14 +6,17 @@ size* falls for a fixed send volume, given 32 cores/node.  We reproduce
 both: the bandwidth curve is measured end-to-end through the simulated
 MPI layer (not just evaluated from the model formula), and the markers
 use the Section III-E average-size analysis O(V/NC), O(V/N), O(VC/N).
+
+Every point of the curve is an independent two-rank simulation, so the
+sweep (and the marker measurements) fan out through :mod:`repro.exec`
+as :func:`bandwidth_cell` jobs.
 """
 
 from __future__ import annotations
 
 from typing import List, Optional
 
-import numpy as np
-
+from ..exec import Job, Pool, run_jobs
 from ..machine import KiB, MiB, bench_machine
 from ..mpi import HEADER_BYTES, World
 from .report import Table
@@ -59,7 +62,16 @@ def measure_bandwidth(nbytes: int, repeats: int = 4) -> float:
     return nbytes / per_transfer
 
 
-def run(quick: bool = True, cores_for_markers: int = 32) -> Table:
+def bandwidth_cell(*, nbytes: int, repeats: int = 4) -> dict:
+    """One point of the bandwidth curve (a two-rank simulation)."""
+    return {"bandwidth": measure_bandwidth(nbytes, repeats=repeats)}
+
+
+def run(
+    quick: bool = True,
+    cores_for_markers: int = 32,
+    pool: Optional[Pool] = None,
+) -> Table:
     table = Table(
         title="Fig 5: network bandwidth between two ranks vs message size",
         columns=["bytes", "bandwidth_MB_s", "protocol"],
@@ -68,13 +80,6 @@ def run(quick: bool = True, cores_for_markers: int = 32) -> Table:
     sizes = sweep_sizes()
     if quick:
         sizes = [s for s in sizes if s >= 8]
-    for size in sizes:
-        bw = measure_bandwidth(size)
-        table.add(
-            bytes=size,
-            bandwidth_MB_s=bw / 1e6,
-            protocol="rendezvous" if net.is_rendezvous(size) else "eager",
-        )
     # Scheme markers for a fixed volume V (paper annotates NoRoute, Node
     # Remote, NLNR assuming 32 cores/node).
     V = 16 * MiB
@@ -85,11 +90,33 @@ def run(quick: bool = True, cores_for_markers: int = 32) -> Table:
         "node_remote": V / (N - 1),
         "nlnr": V * C / N,
     }
-    for scheme, avg in markers.items():
+    jobs = [
+        Job(
+            fn="repro.bench.fig5:bandwidth_cell",
+            kwargs={"nbytes": size},
+            label=f"fig5 {size}B",
+        )
+        for size in sizes
+    ] + [
+        Job(
+            fn="repro.bench.fig5:bandwidth_cell",
+            kwargs={"nbytes": int(avg)},
+            label=f"fig5 marker {scheme}",
+        )
+        for scheme, avg in markers.items()
+    ]
+    cells = run_jobs(jobs, pool)
+    for size, cell in zip(sizes, cells):
+        table.add(
+            bytes=size,
+            bandwidth_MB_s=cell["bandwidth"] / 1e6,
+            protocol="rendezvous" if net.is_rendezvous(size) else "eager",
+        )
+    for (scheme, avg), cell in zip(markers.items(), cells[len(sizes):]):
         table.note(
             f"marker {scheme}: avg message size {avg / KiB:.1f} KiB for "
             f"V={V // MiB} MiB, N={N}, C={C} "
-            f"-> {measure_bandwidth(int(avg)) / 1e6:.1f} MB/s"
+            f"-> {cell['bandwidth'] / 1e6:.1f} MB/s"
         )
     table.note(
         f"eager->rendezvous switch at {net.eager_threshold // KiB} KiB "

@@ -240,6 +240,36 @@ def _macro_sweep(nodes: int, smoke: bool):
     )
 
 
+def _bench_sweep_fig6(jobs: Optional[int], smoke: bool) -> Tuple[float, Dict[str, Any]]:
+    """The fig6a weak-scaling *sweep* end-to-end (the `--fig 6a` macro).
+
+    ``jobs=None`` is the serial driver path; otherwise the cells fan out
+    over a ``jobs``-worker pool with the cache disabled, so the entry
+    measures compute + pool overhead, never disk hits.  The
+    serial/parallel entry pair records the sweep speedup in the perf
+    trajectory (acceptance: >= 3x on >= 4 free cores).
+    """
+    from ..exec import Pool
+    from . import fig6
+    from .harness import SweepConfig
+
+    sweep = SweepConfig(
+        cores_per_node=2 if smoke else 4,
+        node_counts=(1, 2) if smoke else (1, 2, 4, 8),
+        mailbox_capacity=2**12,
+        seed=0,
+    )
+    pool = Pool(jobs=jobs, cache=None) if jobs is not None else None
+    t0 = time.perf_counter()
+    fig6.run_weak(sweep, pool=pool)
+    wall = time.perf_counter() - t0
+    return wall, {
+        "workload": "fig6a weak sweep",
+        "node_counts": list(sweep.node_counts),
+        "jobs": pool.jobs if pool is not None else 1,
+    }
+
+
 def _bench_fig6(nodes: int, smoke: bool) -> Tuple[float, Dict[str, Any]]:
     from . import fig6
 
@@ -265,6 +295,16 @@ class BenchSpec:
     unit: str
     higher_is_better: bool
     fn: Callable[[bool], Tuple[float, Dict[str, Any]]]
+    #: Whether repeats may run in isolated pool workers (``--jobs``).
+    #: Benchmarks that drive a pool themselves must stay in-parent so
+    #: worker processes are not nested.
+    isolate: bool = True
+
+
+def _sweep_parallel_jobs() -> int:
+    from ..exec import default_jobs
+
+    return default_jobs()
 
 
 BENCHMARKS: List[BenchSpec] = [
@@ -277,16 +317,55 @@ BENCHMARKS: List[BenchSpec] = [
     BenchSpec("fig6_degree_large", "seconds", False, lambda s: _bench_fig6(4 if s else 8, s)),
     BenchSpec("fig7_cc_small", "seconds", False, lambda s: _bench_fig7(2 if s else 4, s)),
     BenchSpec("fig7_cc_large", "seconds", False, lambda s: _bench_fig7(4 if s else 8, s)),
+    BenchSpec(
+        "sweep_fig6_serial", "seconds", False,
+        lambda s: _bench_sweep_fig6(None, s), isolate=False,
+    ),
+    BenchSpec(
+        "sweep_fig6_parallel", "seconds", False,
+        lambda s: _bench_sweep_fig6(_sweep_parallel_jobs(), s), isolate=False,
+    ),
 ]
 
 
 # ---------------------------------------------------------------- execution
-def run_benchmark(spec: BenchSpec, repeats: int, smoke: bool) -> Dict[str, Any]:
+def perf_cell(*, name: str, smoke: bool, repeat: int) -> dict:
+    """One isolated repeat of one benchmark (a pool-worker cell).
+
+    ``repeat`` only distinguishes the jobs; timing cells are never
+    cached, and a fresh worker per repeat keeps allocator and cache
+    state from bleeding between repeats.
+    """
+    spec = {s.name: s for s in BENCHMARKS}[name]
+    value, params = spec.fn(smoke)
+    return {"value": value, "params": params}
+
+
+def run_benchmark(
+    spec: BenchSpec, repeats: int, smoke: bool, pool=None
+) -> Dict[str, Any]:
     values: List[float] = []
     params: Dict[str, Any] = {}
-    for _ in range(repeats):
-        value, params = spec.fn(smoke)
-        values.append(value)
+    if pool is not None and pool.jobs > 1 and spec.isolate:
+        from ..exec import Job
+
+        cells = pool.run(
+            [
+                Job(
+                    fn="repro.bench.perf:perf_cell",
+                    kwargs=dict(name=spec.name, smoke=smoke, repeat=r),
+                    label=f"perf {spec.name} #{r}",
+                    cacheable=False,
+                )
+                for r in range(repeats)
+            ]
+        )
+        values = [c["value"] for c in cells]
+        params = cells[-1]["params"] if cells else {}
+    else:
+        for _ in range(repeats):
+            value, params = spec.fn(smoke)
+            values.append(value)
     median, iqr = median_iqr(values)
     return {
         "unit": spec.unit,
@@ -327,6 +406,7 @@ def run_perf(
     smoke: bool = False,
     baseline_path: Optional[str] = None,
     only: Optional[List[str]] = None,
+    pool=None,
 ) -> int:
     """Run the suite, print a summary table and write ``out_path``."""
     from .report import Table
@@ -354,7 +434,7 @@ def run_perf(
         columns=["benchmark", "unit", "median", "iqr", "vs_baseline"],
     )
     for spec in specs:
-        entry = run_benchmark(spec, repeats, smoke)
+        entry = run_benchmark(spec, repeats, smoke, pool=pool)
         results[spec.name] = entry
         ratio = None
         base = base_benchmarks.get(spec.name)

@@ -16,6 +16,7 @@ from .fuzz import (
     FuzzReport,
     ShuffledTiebreaker,
     fuzz_schedules,
+    fuzz_schedules_sharded,
     mailbox_quiescence_scenario,
     minimize_window,
     results_equal,
@@ -36,6 +37,7 @@ __all__ = [
     "OracleReport",
     "ShuffledTiebreaker",
     "fuzz_schedules",
+    "fuzz_schedules_sharded",
     "mailbox_quiescence_scenario",
     "minimize_window",
     "results_equal",

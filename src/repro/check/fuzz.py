@@ -163,24 +163,94 @@ def fuzz_schedules(
     for i in range(runs):
         sub_seed = _mix(seed, i)
         report.seeds.append(sub_seed)
-        try:
-            result = run_fn(ShuffledTiebreaker(sub_seed))
-        except InvariantViolation as exc:
-            report.failures.append(FuzzFailure(sub_seed, "invariant", str(exc)))
-            continue
-        except Exception as exc:  # crash under a legal schedule is a bug too
-            report.failures.append(
-                FuzzFailure(sub_seed, "error", f"{type(exc).__name__}: {exc}")
+        failure = _run_one(run_fn, sub_seed, baseline)
+        if failure is not None:
+            report.failures.append(failure)
+    return report
+
+
+def _run_one(
+    run_fn: RunFn, sub_seed: int, baseline: Any
+) -> Optional[FuzzFailure]:
+    """Execute one perturbed schedule; a failure record or None."""
+    try:
+        result = run_fn(ShuffledTiebreaker(sub_seed))
+    except InvariantViolation as exc:
+        return FuzzFailure(sub_seed, "invariant", str(exc))
+    except Exception as exc:  # crash under a legal schedule is a bug too
+        return FuzzFailure(sub_seed, "error", f"{type(exc).__name__}: {exc}")
+    if not results_equal(baseline, result):
+        return FuzzFailure(
+            sub_seed, "divergence",
+            "result differs from the unperturbed baseline",
+        )
+    return None
+
+
+def quiescence_shard(*, lo: int, hi: int, seed: int, scenario: dict) -> dict:
+    """Worker cell: runs ``[lo, hi)`` of a fuzz campaign over the
+    canonical quiescence scenario (rebuilt from ``scenario`` kwargs).
+
+    Each run ``i`` uses the same derived seed ``_mix(seed, i)`` as the
+    serial campaign, so sharding changes nothing about which schedules
+    are explored.  The shard recomputes the (cheap, deterministic)
+    unperturbed baseline itself rather than shipping it across the
+    process boundary.
+    """
+    run_fn = mailbox_quiescence_scenario(**scenario)
+    baseline = run_fn(None)
+    seeds: List[int] = []
+    failures: List[dict] = []
+    for i in range(lo, hi):
+        sub_seed = _mix(seed, i)
+        seeds.append(sub_seed)
+        failure = _run_one(run_fn, sub_seed, baseline)
+        if failure is not None:
+            failures.append(
+                {"seed": failure.seed, "kind": failure.kind,
+                 "detail": failure.detail}
             )
-            continue
-        if not results_equal(baseline, result):
-            report.failures.append(
-                FuzzFailure(
-                    sub_seed,
-                    "divergence",
-                    "result differs from the unperturbed baseline",
-                )
-            )
+    return {"seeds": seeds, "failures": failures}
+
+
+def fuzz_schedules_sharded(
+    runs: int = 50,
+    seed: int = 0,
+    scenario: Optional[dict] = None,
+    pool=None,
+) -> FuzzReport:
+    """A :func:`fuzz_schedules` campaign sharded across pool workers.
+
+    Splits the run indices into one contiguous shard per worker and
+    fans them out through ``pool`` (a :class:`repro.exec.Pool`; None
+    runs the single shard inline).  Shards merge in index order, so the
+    report's seeds and failures match the serial campaign exactly.
+    """
+    from ..exec import Job, run_jobs
+
+    scenario = dict(scenario or {})
+    nshards = min(runs, pool.jobs) if pool is not None else 1
+    nshards = max(1, nshards)
+    bounds = [
+        (runs * k // nshards, runs * (k + 1) // nshards)
+        for k in range(nshards)
+    ]
+    jobs = [
+        Job(
+            fn="repro.check.fuzz:quiescence_shard",
+            kwargs=dict(lo=lo, hi=hi, seed=seed, scenario=scenario),
+            label=f"fuzz runs {lo}-{hi}",
+        )
+        for lo, hi in bounds
+        if hi > lo
+    ]
+    report = FuzzReport(runs=runs)
+    for shard in run_jobs(jobs, pool):
+        report.seeds.extend(shard["seeds"])
+        report.failures.extend(
+            FuzzFailure(f["seed"], f["kind"], f["detail"])
+            for f in shard["failures"]
+        )
     return report
 
 

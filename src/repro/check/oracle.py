@@ -18,6 +18,7 @@ programmatically via :func:`run_oracle`.
 
 from __future__ import annotations
 
+import hashlib
 import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
@@ -194,6 +195,73 @@ def _build_case(app: str, scale: str, nranks: int, seed: int) -> _Case:
     raise ValueError(f"unknown oracle app {app!r}")
 
 
+def _feed_digest(h, obj: Any) -> None:
+    """Canonical byte-feed mirroring :func:`~repro.check.fuzz.results_equal`:
+    two outputs that compare equal feed identical bytes (ndarrays by
+    dtype+shape+raw data, floats as float64 bits, list==tuple)."""
+    if isinstance(obj, np.ndarray):
+        h.update(b"nd:")
+        h.update(str(obj.dtype).encode())
+        h.update(repr(obj.shape).encode())
+        h.update(obj.tobytes())
+    elif isinstance(obj, dict):
+        h.update(b"map:")
+        for key in sorted(obj, key=repr):
+            h.update(repr(key).encode())
+            _feed_digest(h, obj[key])
+    elif isinstance(obj, (list, tuple)):
+        h.update(b"seq:%d:" % len(obj))
+        for item in obj:
+            _feed_digest(h, item)
+    elif isinstance(obj, (bool, np.bool_)):
+        h.update(b"b:%d" % int(obj))
+    elif isinstance(obj, (float, np.floating)):
+        h.update(b"f:")
+        h.update(np.float64(obj).tobytes())
+    elif isinstance(obj, (int, np.integer)):
+        h.update(b"i:" + repr(int(obj)).encode())
+    else:
+        h.update(b"o:" + repr(obj).encode())
+
+
+def canonical_digest(obj: Any) -> str:
+    """Hex digest of a gathered oracle output; equal outputs (in the
+    :func:`results_equal` sense) hash identically, so workers can check
+    cross-scheme bit-identity without shipping arrays back."""
+    h = hashlib.sha256()
+    _feed_digest(h, obj)
+    return h.hexdigest()
+
+
+def oracle_cell(*, app: str, scale: str, scheme: str, seed: int) -> dict:
+    """One (app, scale, scheme) oracle run, self-contained for a worker.
+
+    Rebuilds the case, runs it with full invariant checking, compares
+    against the sequential reference *inside the worker*, and returns
+    only JSON scalars: the pass/fail verdict plus a canonical digest of
+    the gathered output for the driver's cross-scheme comparison.
+    """
+    nodes, cores = ORACLE_SCALES[scale]
+    machine = bench_machine(nodes, cores_per_node=cores)
+    case = _build_case(app, scale, machine.nranks, seed)
+    try:
+        result, _ = run_checked(machine, case.make(), scheme=scheme, seed=seed)
+        out = case.gather(result.values)
+    except InvariantViolation as exc:
+        return {"ok": False, "detail": f"invariant: {exc}", "digest": None}
+    ref = case.reference()
+    if case.exact:
+        ok = results_equal(out, ref)
+        detail = "" if ok else "differs from sequential reference"
+    else:
+        ok = bool(np.allclose(out, ref, rtol=1e-9, atol=1e-12))
+        detail = "" if ok else (
+            f"max |delta| = {np.abs(out - ref).max():.3e} "
+            "vs sequential reference"
+        )
+    return {"ok": ok, "detail": detail, "digest": canonical_digest(out)}
+
+
 @dataclass
 class OracleEntry:
     app: str
@@ -236,12 +304,36 @@ class OracleReport:
         return "\n".join([header, *lines])
 
 
+def _case_grid(
+    apps: Optional[Sequence[str]],
+    scales: Optional[Sequence[str]],
+    schemes: Optional[Sequence[str]],
+) -> List[Tuple[str, str, Tuple[str, ...]]]:
+    """The (scale, app, run_schemes) sweep in canonical report order."""
+    apps = tuple(apps) if apps else ORACLE_APPS
+    scales = tuple(scales) if scales else tuple(ORACLE_SCALES)
+    # Validate eagerly, before any job fans out to a worker.
+    for app in apps:
+        if app not in ORACLE_APPS:
+            raise ValueError(f"unknown oracle app {app!r}")
+    grid = []
+    for scale in scales:
+        nodes, cores = ORACLE_SCALES[scale]
+        run_schemes = (
+            tuple(schemes) if schemes else tuple(schemes_for(nodes, cores))
+        )
+        for app in apps:
+            grid.append((scale, app, run_schemes))
+    return grid
+
+
 def run_oracle(
     apps: Optional[Sequence[str]] = None,
     scales: Optional[Sequence[str]] = None,
     schemes: Optional[Sequence[str]] = None,
     seed: int = 0,
     tiebreaker=None,
+    pool=None,
 ) -> OracleReport:
     """Run the differential oracle; see the module docstring.
 
@@ -249,72 +341,124 @@ def run_oracle(
     simulated run (the oracle's assertions must hold under any legal
     schedule -- composing it with the fuzzer's
     :class:`~repro.check.fuzz.ShuffledTiebreaker` checks exactly that).
+    Tiebreakers are arbitrary callables, so a perturbed oracle always
+    runs in-process; otherwise the per-scheme runs fan out through
+    ``pool`` (a :class:`repro.exec.Pool`; None runs them inline) as
+    :func:`oracle_cell` jobs, with cross-scheme bit-identity checked via
+    canonical output digests.
     """
-    apps = tuple(apps) if apps else ORACLE_APPS
-    scales = tuple(scales) if scales else tuple(ORACLE_SCALES)
     report = OracleReport()
     start = time.perf_counter()
-    for scale in scales:
-        nodes, cores = ORACLE_SCALES[scale]
-        machine = bench_machine(nodes, cores_per_node=cores)
-        run_schemes = (
-            tuple(schemes)
-            if schemes
-            else tuple(schemes_for(machine.nodes, machine.cores_per_node))
+    if tiebreaker is not None:
+        _run_oracle_perturbed(
+            report, apps, scales, schemes, seed, tiebreaker
         )
-        for app in apps:
-            case = _build_case(app, scale, machine.nranks, seed)
-            ref = case.reference()
-            outputs: Dict[str, Any] = {}
-            for scheme in run_schemes:
-                try:
-                    result, _ = run_checked(
-                        machine,
-                        case.make(),
-                        scheme=scheme,
-                        seed=seed,
-                        tiebreaker=tiebreaker,
-                    )
-                    out = case.gather(result.values)
-                except InvariantViolation as exc:
-                    report.entries.append(
-                        OracleEntry(app, scale, scheme, False,
-                                    f"invariant: {exc}")
-                    )
-                    continue
-                outputs[scheme] = out
-                if case.exact:
-                    ok = results_equal(out, ref)
-                    detail = "" if ok else "differs from sequential reference"
-                else:
-                    ok = bool(
-                        np.allclose(out, ref, rtol=1e-9, atol=1e-12)
-                    )
-                    detail = "" if ok else (
-                        f"max |delta| = {np.abs(out - ref).max():.3e} "
-                        "vs sequential reference"
-                    )
-                report.entries.append(
-                    OracleEntry(app, scale, scheme, ok, detail)
+        report.elapsed = time.perf_counter() - start
+        return report
+
+    from ..exec import Job, run_jobs
+
+    grid = _case_grid(apps, scales, schemes)
+    jobs = [
+        Job(
+            fn="repro.check.oracle:oracle_cell",
+            kwargs=dict(app=app, scale=scale, scheme=scheme, seed=seed),
+            label=f"oracle {app}/{scale}/{scheme}",
+        )
+        for scale, app, run_schemes in grid
+        for scheme in run_schemes
+    ]
+    cells = iter(run_jobs(jobs, pool))
+    for scale, app, run_schemes in grid:
+        digests: Dict[str, str] = {}
+        for scheme in run_schemes:
+            cell = next(cells)
+            report.entries.append(
+                OracleEntry(app, scale, scheme, cell["ok"], cell["detail"])
+            )
+            if cell["digest"] is not None:
+                digests[scheme] = cell["digest"]
+        if len(digests) > 1:
+            baseline_scheme = next(iter(digests))
+            baseline = digests[baseline_scheme]
+            bad = [s for s, d in digests.items() if d != baseline]
+            report.entries.append(
+                OracleEntry(
+                    app,
+                    scale,
+                    "cross-scheme",
+                    not bad,
+                    ""
+                    if not bad
+                    else f"{bad} differ bitwise from {baseline_scheme}",
                 )
-            if len(outputs) > 1:
-                baseline_scheme = next(iter(outputs))
-                baseline = outputs[baseline_scheme]
-                bad = [
-                    s
-                    for s, o in outputs.items()
-                    if not results_equal(o, baseline)
-                ]
-                report.entries.append(
-                    OracleEntry(
-                        app,
-                        scale,
-                        "cross-scheme",
-                        not bad,
-                        ""
-                        if not bad
-                        else f"{bad} differ bitwise from {baseline_scheme}",
-                    )
-                )
+            )
     report.elapsed = time.perf_counter() - start
     return report
+
+
+def _run_oracle_perturbed(
+    report: OracleReport,
+    apps: Optional[Sequence[str]],
+    scales: Optional[Sequence[str]],
+    schemes: Optional[Sequence[str]],
+    seed: int,
+    tiebreaker,
+) -> None:
+    """In-process oracle sweep under a custom kernel tiebreaker."""
+    for scale, app, run_schemes in _case_grid(apps, scales, schemes):
+        nodes, cores = ORACLE_SCALES[scale]
+        machine = bench_machine(nodes, cores_per_node=cores)
+        case = _build_case(app, scale, machine.nranks, seed)
+        ref = case.reference()
+        outputs: Dict[str, Any] = {}
+        for scheme in run_schemes:
+            try:
+                result, _ = run_checked(
+                    machine,
+                    case.make(),
+                    scheme=scheme,
+                    seed=seed,
+                    tiebreaker=tiebreaker,
+                )
+                out = case.gather(result.values)
+            except InvariantViolation as exc:
+                report.entries.append(
+                    OracleEntry(app, scale, scheme, False,
+                                f"invariant: {exc}")
+                )
+                continue
+            outputs[scheme] = out
+            if case.exact:
+                ok = results_equal(out, ref)
+                detail = "" if ok else "differs from sequential reference"
+            else:
+                ok = bool(
+                    np.allclose(out, ref, rtol=1e-9, atol=1e-12)
+                )
+                detail = "" if ok else (
+                    f"max |delta| = {np.abs(out - ref).max():.3e} "
+                    "vs sequential reference"
+                )
+            report.entries.append(
+                OracleEntry(app, scale, scheme, ok, detail)
+            )
+        if len(outputs) > 1:
+            baseline_scheme = next(iter(outputs))
+            baseline = outputs[baseline_scheme]
+            bad = [
+                s
+                for s, o in outputs.items()
+                if not results_equal(o, baseline)
+            ]
+            report.entries.append(
+                OracleEntry(
+                    app,
+                    scale,
+                    "cross-scheme",
+                    not bad,
+                    ""
+                    if not bad
+                    else f"{bad} differ bitwise from {baseline_scheme}",
+                )
+            )

@@ -1,0 +1,61 @@
+"""Code fingerprint: one hash over every source file of ``repro``.
+
+Cache keys fold this fingerprint in (:mod:`repro.exec.job`), so any
+edit to any file under ``src/repro`` changes every key and stale
+entries self-invalidate -- there is no manual cache-busting step after
+touching the simulator.
+
+The fingerprint is the SHA-256 of the sorted ``(relative path, file
+digest)`` pairs of all ``*.py`` files under the package root.  It is
+computed lazily once per process and memoised; workers inherit it via
+the job spec rather than recomputing.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from typing import List, Optional, Tuple
+
+#: Memoised fingerprint of the installed ``repro`` tree (per process).
+_CACHED: Optional[str] = None
+
+
+def _package_root() -> str:
+    """Directory of the ``repro`` package itself (``src/repro``)."""
+    import repro
+
+    return os.path.dirname(os.path.abspath(repro.__file__))
+
+
+def _iter_source_files(root: str) -> List[Tuple[str, str]]:
+    out: List[Tuple[str, str]] = []
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = sorted(d for d in dirnames if d != "__pycache__")
+        for name in sorted(filenames):
+            if name.endswith(".py"):
+                path = os.path.join(dirpath, name)
+                out.append((os.path.relpath(path, root), path))
+    return out
+
+
+def code_fingerprint(refresh: bool = False) -> str:
+    """Hex digest identifying the exact ``repro`` source tree.
+
+    ``refresh=True`` drops the per-process memo (tests use it after
+    monkeypatching source files; normal runs never need it).
+    """
+    global _CACHED
+    if _CACHED is not None and not refresh:
+        return _CACHED
+    root = _package_root()
+    h = hashlib.sha256()
+    for rel, path in _iter_source_files(root):
+        with open(path, "rb") as f:
+            digest = hashlib.sha256(f.read()).hexdigest()
+        h.update(rel.encode())
+        h.update(b"\0")
+        h.update(digest.encode())
+        h.update(b"\n")
+    _CACHED = h.hexdigest()
+    return _CACHED

@@ -75,9 +75,11 @@ class CallbackSink(Sink):
 
 
 #: Categories recorded by default: application annotations, mailbox
-#: activity (flush/forward/termination/idle), transport packets, and
-#: resource (NIC) occupancy.
-DEFAULT_CATEGORIES = frozenset({"app", "mailbox", "mpi", "resource"})
+#: activity (flush/forward/termination/idle), transport packets,
+#: resource (NIC) occupancy, and host-side job-pool execution records
+#: (``repro.exec`` -- per-job queued/started/finished/cache-hit spans;
+#: host wall clock, not simulated time).
+DEFAULT_CATEGORIES = frozenset({"app", "mailbox", "mpi", "resource", "exec"})
 
 #: Everything, including the very chatty per-event kernel dispatch and
 #: per-process block/unblock categories.

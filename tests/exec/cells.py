@@ -1,0 +1,38 @@
+"""Module-level cell functions for the exec tests.
+
+Pool workers resolve jobs by dotted path (``tests.exec.cells:adder``),
+so everything a test submits must live at module level in an importable
+module -- lambdas and closures cannot cross the process boundary.
+"""
+
+import os
+import time
+
+
+def adder(a, b):
+    return a + b
+
+
+def pair(a, b):
+    # Returns a tuple on purpose: the pool's JSON normalization must
+    # turn it into a list on both the fresh and the cached path.
+    return {"pair": (a, b)}
+
+
+def sleeper(seconds, value=None):
+    time.sleep(seconds)
+    return value
+
+
+def boom(msg):
+    raise ValueError(msg)
+
+
+def crasher():
+    # Simulates a worker segfault: the interpreter dies without raising,
+    # which surfaces to the parent as BrokenProcessPool.
+    os._exit(13)
+
+
+def unserializable():
+    return object()

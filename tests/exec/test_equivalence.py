@@ -1,0 +1,57 @@
+"""Serial-vs-parallel equivalence on the real sweep drivers.
+
+The pool's central promise: ``--jobs N`` produces byte-identical tables
+and check reports to ``--jobs 1`` (and to the pool-less inline path),
+and a warm cache changes nothing but the wall clock.
+"""
+
+import pytest
+
+from repro.bench import fig6
+from repro.bench.harness import SweepConfig
+from repro.check import fuzz_schedules, fuzz_schedules_sharded
+from repro.check.fuzz import mailbox_quiescence_scenario
+from repro.exec import Pool, ResultCache
+
+TINY = dict(edges_per_rank=2**8, verts_per_rank=2**6, batch_size=2**8)
+
+
+def _sweep():
+    return SweepConfig(cores_per_node=2, node_counts=(1, 2), mailbox_capacity=256)
+
+
+@pytest.fixture(scope="module")
+def serial_table():
+    return fig6.run_weak(_sweep(), pool=None, **TINY).render()
+
+
+def test_jobs1_with_cache_matches_inline(tmp_path, serial_table):
+    pool = Pool(jobs=1, cache=ResultCache(str(tmp_path / "c")))
+    assert fig6.run_weak(_sweep(), pool=pool, **TINY).render() == serial_table
+
+
+def test_parallel_matches_serial_byte_for_byte(tmp_path, serial_table):
+    pool = Pool(jobs=2, cache=ResultCache(str(tmp_path / "c")))
+    assert fig6.run_weak(_sweep(), pool=pool, **TINY).render() == serial_table
+
+
+def test_warm_cache_rerun_is_identical_and_all_hits(tmp_path, serial_table):
+    pool = Pool(jobs=1, cache=ResultCache(str(tmp_path / "c")))
+    fig6.run_weak(_sweep(), pool=pool, **TINY)
+    assert fig6.run_weak(_sweep(), pool=pool, **TINY).render() == serial_table
+    assert all(rec.cache_hit for rec in pool.records)
+
+
+def test_sharded_fuzz_matches_serial_campaign():
+    runs, seed = 6, 7
+    serial = fuzz_schedules(
+        mailbox_quiescence_scenario(seed=seed), runs=runs, seed=seed
+    )
+    sharded = fuzz_schedules_sharded(
+        runs=runs,
+        seed=seed,
+        scenario={"seed": seed},
+        pool=Pool(jobs=2, cache=None),
+    )
+    assert sharded.seeds == serial.seeds
+    assert sharded.render() == serial.render()

@@ -1,0 +1,70 @@
+"""Job spec: dotted-path resolution, JSON validation, cache keys."""
+
+import pytest
+
+import repro.exec.job as job_mod
+from repro.exec import Job, JobError, canonical_json, resolve
+
+CELLS = "tests.exec.cells"
+
+
+# ------------------------------------------------------------- resolution
+def test_resolve_and_run_inline():
+    assert resolve(f"{CELLS}:adder")(2, 3) == 5
+    assert Job(fn=f"{CELLS}:adder", kwargs={"a": 2, "b": 3}).run_inline() == 5
+
+
+@pytest.mark.parametrize("bad", ["tests.exec.cells", "tests.exec.cells:", ":adder"])
+def test_resolve_rejects_malformed_paths(bad):
+    with pytest.raises(ValueError, match="module:function"):
+        resolve(bad)
+
+
+def test_resolve_rejects_missing_or_uncallable_attr():
+    with pytest.raises(ValueError, match="does not resolve"):
+        resolve(f"{CELLS}:no_such_cell")
+    with pytest.raises(ValueError, match="does not resolve"):
+        resolve("os:sep")  # exists but is not callable
+
+
+# ------------------------------------------------------------- validation
+def test_kwargs_must_be_json_serializable():
+    with pytest.raises(TypeError, match="JSON-serializable"):
+        Job(fn=f"{CELLS}:adder", kwargs={"a": object()}, label="bad")
+
+
+def test_canonical_json_is_order_independent():
+    assert canonical_json({"b": 1, "a": 2}) == canonical_json({"a": 2, "b": 1})
+
+
+# ------------------------------------------------------------- cache keys
+def test_cache_key_stable_and_content_sensitive():
+    j = Job(fn=f"{CELLS}:adder", kwargs={"a": 1, "b": 2})
+    assert j.cache_key() == j.cache_key()
+    # Same content, different kwarg insertion order: same key.
+    assert j.cache_key() == Job(fn=j.fn, kwargs={"b": 2, "a": 1}).cache_key()
+    # Different kwargs or different fn: different key.
+    assert j.cache_key() != Job(fn=j.fn, kwargs={"a": 1, "b": 3}).cache_key()
+    assert j.cache_key() != Job(fn=f"{CELLS}:pair", kwargs=j.kwargs).cache_key()
+
+
+def test_cache_key_ignores_display_label():
+    a = Job(fn=f"{CELLS}:adder", kwargs={"a": 1, "b": 2}, label="x")
+    b = Job(fn=f"{CELLS}:adder", kwargs={"a": 1, "b": 2}, label="y")
+    assert a.cache_key() == b.cache_key()
+
+
+def test_cache_key_folds_in_code_fingerprint(monkeypatch):
+    j = Job(fn=f"{CELLS}:adder", kwargs={"a": 1, "b": 2})
+    before = j.cache_key()
+    monkeypatch.setattr(job_mod, "code_fingerprint", lambda: "0" * 64)
+    assert j.cache_key() != before
+
+
+# ------------------------------------------------------------- JobError
+def test_job_error_lists_every_failure():
+    err = JobError([("cell-a", "ValueError: x"), ("cell-b", "timed out")])
+    assert err.failures == [("cell-a", "ValueError: x"), ("cell-b", "timed out")]
+    text = str(err)
+    assert "2 job(s) failed" in text
+    assert "cell-a" in text and "cell-b" in text
