@@ -13,6 +13,13 @@ layer enabled, emitting a Chrome ``trace_event`` timeline (one lane per
 rank plus NIC lanes; load in chrome://tracing or Perfetto) and a
 per-interval metrics table.
 
+``--profile`` switches to the causal-profile mode (see
+:mod:`repro.bench.profiling`): one representative configuration of the
+first requested figure runs under *every* routing scheme with the
+lineage profiler enabled, and a self-contained HTML report (plus a JSON
+document; ``--profile-out`` sets the path) compares the schemes'
+critical paths to quiescence, per-rank utilization and per-hop latency.
+
 ``--check`` switches to the correctness-harness mode (see
 :mod:`repro.check` and TESTING.md): the routing-differential oracle and
 a schedule-fuzz campaign run instead of any figure; the exit code
@@ -185,6 +192,22 @@ def main(argv: List[str] = None) -> int:
         help="metrics bucket width in simulated seconds (default: run/50)",
     )
     parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="causal-profile mode: run one representative configuration of "
+        "the first requested figure under every routing scheme with the "
+        "lineage profiler, and write a self-contained HTML report (plus "
+        "JSON) with the critical path to quiescence, per-rank utilization "
+        "and per-hop latency histograms",
+    )
+    parser.add_argument(
+        "--profile-out",
+        metavar="PATH",
+        default=None,
+        help="with --profile: HTML output path (default: profile_<fig>.html; "
+        "the JSON document lands next to it with a .json suffix)",
+    )
+    parser.add_argument(
         "--check",
         action="store_true",
         help="correctness-harness mode: run the routing-differential "
@@ -332,6 +355,31 @@ def main(argv: List[str] = None) -> int:
             mailbox_capacity=sweep.mailbox_capacity,
             seed=args.seed,
         )
+
+    if args.profile:
+        from .profiling import run_profiled
+
+        html_path = args.profile_out or f"profile_{expanded[0]}.html"
+        json_path = (
+            html_path[: -len(".html")] + ".json"
+            if html_path.endswith(".html")
+            else html_path + ".json"
+        )
+        for path in (html_path, json_path):
+            try:
+                with open(path, "a"):
+                    pass
+            except OSError as exc:
+                parser.error(f"cannot write {path}: {exc}")
+        start = time.perf_counter()
+        try:
+            table = run_profiled(expanded[0], sweep, html_path, json_path)
+        except (ValueError, OSError) as exc:
+            parser.error(str(exc))
+        wall = time.perf_counter() - start
+        print(table.render())
+        print(f"# harness wall-clock: {wall:.1f}s")
+        return 0
 
     if args.trace or args.metrics:
         from .tracing import run_traced

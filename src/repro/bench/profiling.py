@@ -1,0 +1,121 @@
+"""Causal-profile mode behind the CLI's ``--profile``.
+
+Like the traced mode (:mod:`repro.bench.tracing`), profiling runs one
+*representative* configuration of the requested figure rather than the
+whole sweep -- but where a trace answers "what happened when", the causal
+profile answers "what did the completion time consist of": it runs the
+configuration once under **every** routing scheme with the lineage
+profiler enabled (``Tracer(profile=True)``), extracts each run's critical
+dependency chain to quiescence with a per-edge stage breakdown, attributes
+every rank's simulated time to utilization buckets, and writes a
+self-contained HTML report (plus a machine-readable JSON document)
+comparing the schemes side by side.
+
+The configuration is chosen so all four paper schemes are eligible: the
+smallest sweep node count with ``nodes >= cores_per_node`` (NLNR's
+validity threshold, Section VI), falling back to the largest offered.
+
+Profiling is non-perturbing (``tests/trace/test_noperturb.py``), so the
+per-scheme timings in the report are identical to what the figure sweep
+reports for the same cells.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..trace import SchemeProfile, Tracer, analyze_profile, write_report
+from .harness import SweepConfig, run_ygm, schemes_for
+from .report import Table
+from .tracing import TRACEABLE, _workload
+
+
+def pick_nodes(sweep: SweepConfig) -> int:
+    """Smallest sweep node count at which every paper scheme is valid."""
+    candidates = [
+        n for n in sweep.node_counts if n >= max(2, sweep.cores_per_node)
+    ]
+    return min(candidates) if candidates else max(sweep.node_counts)
+
+
+def profile_figure(fig: str, sweep: SweepConfig) -> List[SchemeProfile]:
+    """Run ``fig``'s representative configuration under every scheme."""
+    if fig not in TRACEABLE:
+        raise ValueError(
+            f"figure {fig!r} has no profiled mode; profilable figures: "
+            f"{TRACEABLE}"
+        )
+    nodes = pick_nodes(sweep)
+    profiles: List[SchemeProfile] = []
+    for scheme in schemes_for(nodes, sweep.cores_per_node):
+        # Event categories off: the causal profile only needs lineage.
+        tracer = Tracer(categories=(), profile=True)
+        res = run_ygm(
+            _workload(fig, sweep, nodes),
+            sweep.machine(nodes),
+            scheme,
+            sweep.mailbox_capacity,
+            seed=sweep.seed,
+            tracer=tracer,
+        )
+        tracer.close()
+        profiles.append(
+            analyze_profile(
+                tracer.lineage, res, sweep.machine(nodes), scheme
+            )
+        )
+    return profiles
+
+
+def run_profiled(
+    fig: str,
+    sweep: SweepConfig,
+    html_path: str,
+    json_path: str,
+) -> Table:
+    """Profile ``fig`` under all schemes and write the HTML/JSON reports."""
+    profiles = profile_figure(fig, sweep)
+    nodes = pick_nodes(sweep)
+    title = (
+        f"Causal profile: fig {fig}, {nodes} nodes x "
+        f"{sweep.cores_per_node} cores"
+    )
+    write_report(
+        profiles,
+        html_path,
+        json_path,
+        title,
+        meta={
+            "fig": fig,
+            "nodes": nodes,
+            "cores_per_node": sweep.cores_per_node,
+            "mailbox_capacity": sweep.mailbox_capacity,
+            "seed": sweep.seed,
+        },
+    )
+    table = Table(
+        title=title,
+        columns=[
+            "scheme", "seconds", "messages", "packets", "comm_share",
+            "dominant_stage", "idle_share",
+        ],
+    )
+    for p in profiles:
+        comm = {
+            k: v for k, v in p.cp_stages.items()
+            if k not in ("compute", "term_tail")
+        }
+        dominant = max(comm, key=comm.get) if any(comm.values()) else "-"
+        total_time = sum(r["total"] for r in p.rank_buckets) or 1.0
+        table.add(
+            scheme=p.scheme,
+            seconds=p.elapsed,
+            messages=p.messages,
+            packets=p.packets,
+            comm_share=p.comm_share,
+            dominant_stage=dominant,
+            idle_share=p.bucket_totals.get("idle", 0.0) / total_time,
+        )
+    table.note(f"HTML report written to {html_path}")
+    table.note(f"JSON report written to {json_path}")
+    return table

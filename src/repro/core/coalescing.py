@@ -23,15 +23,21 @@ ENTRY_HEADER_BYTES = 8
 
 
 class P2PEntry:
-    """One buffered point-to-point message."""
+    """One buffered point-to-point message.
 
-    __slots__ = ("dest", "payload", "nbytes")
+    ``lin`` is the message's lineage id when the causal profiler is
+    enabled (:mod:`repro.trace.profile`), ``None`` otherwise; it rides
+    along through forwarding hops at no simulated cost.
+    """
+
+    __slots__ = ("dest", "payload", "nbytes", "lin")
     kind = "p2p"
 
-    def __init__(self, dest: int, payload: Any, nbytes: int):
+    def __init__(self, dest: int, payload: Any, nbytes: int, lin=None):
         self.dest = dest
         self.payload = payload
         self.nbytes = nbytes
+        self.lin = lin
 
     @property
     def count(self) -> int:
@@ -45,13 +51,14 @@ class P2PEntry:
 class BcastEntry:
     """One buffered broadcast copy (still fanning out)."""
 
-    __slots__ = ("origin", "payload", "nbytes")
+    __slots__ = ("origin", "payload", "nbytes", "lin")
     kind = "bcast"
 
-    def __init__(self, origin: int, payload: Any, nbytes: int):
+    def __init__(self, origin: int, payload: Any, nbytes: int, lin=None):
         self.origin = origin
         self.payload = payload
         self.nbytes = nbytes
+        self.lin = lin
 
     @property
     def count(self) -> int:
@@ -67,19 +74,21 @@ class BatchEntry:
 
     ``dests`` carries the final destination rank of each record --
     intermediaries re-bin on it; ``batch`` is the structured payload
-    array (same length).
+    array (same length).  ``lins`` is the parallel lineage-id array when
+    the causal profiler is enabled, ``None`` otherwise.
     """
 
-    __slots__ = ("dests", "batch")
+    __slots__ = ("dests", "batch", "lins")
     kind = "batch"
 
-    def __init__(self, dests: np.ndarray, batch: np.ndarray):
+    def __init__(self, dests: np.ndarray, batch: np.ndarray, lins=None):
         if len(dests) != len(batch):
             raise ValueError(
                 f"dests ({len(dests)}) and batch ({len(batch)}) lengths differ"
             )
         self.dests = dests
         self.batch = batch
+        self.lins = lins
 
     @property
     def count(self) -> int:

@@ -70,6 +70,13 @@ class Mailbox:
         self._term_store = inbox.subscribe(self.comm.ctx, self._term_kind)
 
         self._buffers: Dict[int, CoalescingBuffer] = {}
+        #: The causal profiler (:mod:`repro.trace.profile`) when the
+        #: installed tracer has ``profile=True``, else ``None``.  Cached
+        #: here so every lineage hook on the hot path is a single
+        #: attribute load plus an identity check -- the same cost shape
+        #: as the event-trace hooks.
+        tracer = ctx.sim.tracer
+        self._prof = tracer.lineage if tracer is not None else None
         #: Recycles handled packets' entry lists into fresh buffers.
         self._pool = ListPool()
         self._queued = 0  # messages across all buffers
@@ -94,12 +101,25 @@ class Mailbox:
         if not 0 <= dest < self.comm.size:
             raise ValueError(f"destination {dest} out of range [0, {self.comm.size})")
         self.stats.app_messages_sent += 1
+        prof = self._prof
         if dest == self.rank:
-            self._deliver_p2p(payload)
+            if prof is not None:
+                self._deliver_p2p(
+                    payload,
+                    prof.new_message(self.rank, dest, self.ctx.sim.now),
+                )
+            else:
+                self._deliver_p2p(payload)
             return
         size = payload_nbytes(payload, nbytes)
         hop = self.scheme.next_hop(self.rank, dest)
-        self._buffer_for(hop).add(P2PEntry(dest, payload, size))
+        if prof is not None:
+            t = self.ctx.sim.now
+            lid = prof.new_message(self.rank, dest, t)
+            prof.enqueue(lid, self.rank, hop, t)
+            self._buffer_for(hop).add(P2PEntry(dest, payload, size, lid))
+        else:
+            self._buffer_for(hop).add(P2PEntry(dest, payload, size))
         self._queued += 1
 
     def send(self, dest: int, payload: Any, nbytes: Optional[int] = None) -> Generator:
@@ -111,8 +131,17 @@ class Mailbox:
         """Queue a broadcast to every other rank (callback-safe)."""
         self.stats.bcasts_initiated += 1
         size = payload_nbytes(payload, nbytes)
+        prof = self._prof
         for target in self.scheme.bcast_targets(self.rank, self.rank):
-            self._buffer_for(target).add(BcastEntry(self.rank, payload, size))
+            if prof is not None:
+                t = self.ctx.sim.now
+                lid = prof.new_message(self.rank, target, t, kind="bcast")
+                prof.enqueue(lid, self.rank, target, t)
+                self._buffer_for(target).add(
+                    BcastEntry(self.rank, payload, size, lid)
+                )
+            else:
+                self._buffer_for(target).add(BcastEntry(self.rank, payload, size))
             self._queued += 1
 
     def send_bcast(self, payload: Any, nbytes: Optional[int] = None) -> Generator:
@@ -138,7 +167,11 @@ class Mailbox:
         if dests.min() < 0 or dests.max() >= self.comm.size:
             raise ValueError("destination rank out of range in batch")
         self.stats.app_messages_sent += len(dests)
-        self._bin_batch(dests, batch, at_injection=True)
+        prof = self._prof
+        lins = None
+        if prof is not None:
+            lins = prof.new_batch(self.rank, dests, self.ctx.sim.now)
+        self._bin_batch(dests, batch, at_injection=True, lins=lins)
 
     def send_batch(self, dests: np.ndarray, batch: np.ndarray, spec: Optional[RecordSpec] = None) -> Generator:
         """Vectorized send; may enter the communication context."""
@@ -153,18 +186,28 @@ class Mailbox:
             self._buffers[hop] = buf
         return buf
 
-    def _bin_batch(self, dests: np.ndarray, batch: np.ndarray, at_injection: bool) -> None:
+    def _bin_batch(
+        self,
+        dests: np.ndarray,
+        batch: np.ndarray,
+        at_injection: bool,
+        lins: Optional[np.ndarray] = None,
+    ) -> None:
         """Deliver self-addressed records, bin the rest by next hop.
 
         ``at_injection`` distinguishes freshly posted batches from batches
         re-binned at a routing intermediary: only the latter count toward
-        ``stats.entries_forwarded``.
+        ``stats.entries_forwarded``.  ``lins`` is the parallel lineage-id
+        array when the causal profiler is enabled; it is masked, reordered
+        and sliced in lock-step with ``dests``.
         """
         here = dests == self.rank
         if here.any():
-            self._deliver_batch(batch[here])
+            self._deliver_batch(batch[here], None if lins is None else lins[here])
             dests = dests[~here]
             batch = batch[~here]
+            if lins is not None:
+                lins = lins[~here]
             if len(dests) == 0:
                 return
         if not at_injection:
@@ -174,12 +217,16 @@ class Mailbox:
         hops_sorted = hops[order]
         dests_sorted = dests[order]
         batch_sorted = batch[order]
+        lins_sorted = None if lins is None else lins[order]
         boundaries = np.flatnonzero(np.diff(hops_sorted)) + 1
         starts = np.concatenate(([0], boundaries))
         ends = np.concatenate((boundaries, [len(hops_sorted)]))
         for s, e in zip(starts, ends):
             hop = int(hops_sorted[s])
-            entry = BatchEntry(dests_sorted[s:e], batch_sorted[s:e])
+            seg_lins = None if lins_sorted is None else lins_sorted[s:e]
+            if seg_lins is not None:
+                self._prof.enqueue_batch(seg_lins, self.rank, hop, self.ctx.sim.now)
+            entry = BatchEntry(dests_sorted[s:e], batch_sorted[s:e], seg_lins)
             self._buffer_for(hop).add(entry)
             self._queued += entry.count
 
@@ -208,10 +255,13 @@ class Mailbox:
         messages = self._queued
         self.stats.flushes += 1
         compute = self.ctx.machine.config.compute
+        prof = self._prof
         # Per-message packing cost, charged in bulk.
         pack_cost = self._queued * compute.per_message_queue
         if pack_cost > 0:
             yield self.ctx.sim.timeout(pack_cost)
+            if prof is not None:
+                prof.span(self.ctx.world_rank, "serialize", started, self.ctx.sim.now)
         # Deterministic hop order.
         packets = 0
         for hop in sorted(self._buffers):
@@ -221,36 +271,55 @@ class Mailbox:
             entries, nbytes, count = buf.take()
             self._queued -= count
             packets += 1
-            yield from self._send_packet(hop, entries, nbytes, count)
+            yield from self._send_packet(hop, entries, nbytes, count, pack_cost)
         if trace:
             tracer.complete(
                 started, self.ctx.sim.now - started, "mailbox", "flush",
                 self._lane, messages=messages, packets=packets,
             )
 
-    def _send_packet(self, hop: int, entries: List[Any], nbytes: int, count: int) -> Generator:
+    def _send_packet(
+        self, hop: int, entries: List[Any], nbytes: int, count: int,
+        serialize: float = 0.0,
+    ) -> Generator:
         self.stats.entries_sent += count
-        local = self.ctx.machine.same_node(self.ctx.world_rank, self.comm.world_rank_of(hop))
+        dst_w = self.comm.world_rank_of(hop)
+        local = self.ctx.machine.same_node(self.ctx.world_rank, dst_w)
         if local:
             self.stats.local_packets_sent += 1
             self.stats.local_bytes_sent += nbytes
         else:
             self.stats.remote_packets_sent += 1
             self.stats.remote_bytes_sent += nbytes
+        prof = self._prof
+        pid = None
+        if prof is not None:
+            pid = prof.packet_out(
+                self.ctx.world_rank, dst_w, nbytes + HEADER_BYTES, count,
+                self.ctx.sim.now, serialize, entries,
+            )
         if local and self.scheme.free_local_hops:
             # Hybrid MPI+threads model (Section VII): on-node hand-off is a
             # pointer exchange -- no copy cost, immediate delivery.
-            dst_w = self.comm.world_rank_of(hop)
             pkt = Packet(
                 src=self.ctx.world_rank, dst=dst_w, ctx=self.comm.ctx,
                 kind=self._app_kind, tag=0, payload=entries,
-                nbytes=nbytes + HEADER_BYTES,
+                nbytes=nbytes + HEADER_BYTES, lin=pid,
             )
+            if pid is not None:
+                prof.packet_free_local(pid, self.ctx.sim.now)
             self.ctx.world.inboxes[dst_w].deliver(pkt)
             return
-        yield from self.comm.send(
-            hop, entries, tag=0, nbytes=nbytes, kind=self._app_kind
-        )
+        if pid is None:
+            yield from self.comm.send(
+                hop, entries, tag=0, nbytes=nbytes, kind=self._app_kind
+            )
+        else:
+            t0 = self.ctx.sim.now
+            yield from self.comm.send(
+                hop, entries, tag=0, nbytes=nbytes, kind=self._app_kind, lin=pid
+            )
+            prof.span(self.ctx.world_rank, "nic", t0, self.ctx.sim.now)
 
     # -------------------------------------------------------------- receiving
     def progress(self) -> Generator:
@@ -278,15 +347,18 @@ class Mailbox:
         forwarded_before = self.stats.entries_forwarded
         stats = self.stats
         rank = self.rank
+        prof = self._prof
         for entry in pkt.payload:
             kind = entry.kind
             if kind == "p2p":
                 stats.entries_received += 1
                 if entry.dest == rank:
-                    self._deliver_p2p(entry.payload)
+                    self._deliver_p2p(entry.payload, entry.lin)
                 else:
                     stats.entries_forwarded += 1
                     hop = self.scheme.next_hop(rank, entry.dest)
+                    if prof is not None and entry.lin is not None:
+                        prof.enqueue(entry.lin, rank, hop, self.ctx.sim.now)
                     self._buffer_for(hop).add(entry)
                     self._queued += 1
             elif kind == "batch":
@@ -295,13 +367,23 @@ class Mailbox:
                 # deltas would mis-count when a receive callback posts
                 # additional self-addressed messages.
                 self.stats.entries_received += entry.count
-                self._bin_batch(entry.dests, entry.batch, at_injection=False)
+                self._bin_batch(
+                    entry.dests, entry.batch, at_injection=False,
+                    lins=entry.lins,
+                )
             elif kind == "bcast":
                 self.stats.entries_received += 1
-                self._deliver_bcast(entry.payload)
+                self._deliver_bcast(entry.payload, entry.lin)
                 for target in self.scheme.bcast_targets(self.rank, entry.origin):
+                    child = None
+                    if prof is not None:
+                        t = self.ctx.sim.now
+                        child = prof.new_message(
+                            rank, target, t, kind="bcast", parent=entry.lin
+                        )
+                        prof.enqueue(child, rank, target, t)
                     self._buffer_for(target).add(
-                        BcastEntry(entry.origin, entry.payload, entry.nbytes)
+                        BcastEntry(entry.origin, entry.payload, entry.nbytes, child)
                     )
                     self._queued += 1
                     self.stats.entries_forwarded += 1
@@ -320,14 +402,24 @@ class Mailbox:
                 )
         yield from self._charge_pending_handles()
 
-    def _deliver_p2p(self, payload: Any) -> None:
+    def _deliver_p2p(self, payload: Any, lin=None) -> None:
         self.stats.app_messages_delivered += 1
         self._pending_handle_cost += self.ctx.machine.config.compute.per_message_handle
         if self.recv is None:
             raise RuntimeError("mailbox has no scalar receive callback")
-        self.recv(payload)
+        prof = self._prof
+        if prof is None or lin is None:
+            self.recv(payload)
+            return
+        # Messages posted from inside the callback are caused by this one.
+        prof.delivered(lin, self.rank, self.ctx.sim.now)
+        prev, prof.cause = prof.cause, lin
+        try:
+            self.recv(payload)
+        finally:
+            prof.cause = prev
 
-    def _deliver_batch(self, batch: np.ndarray) -> None:
+    def _deliver_batch(self, batch: np.ndarray, lins: Optional[np.ndarray] = None) -> None:
         n = len(batch)
         if n == 0:
             return
@@ -335,25 +427,50 @@ class Mailbox:
         self._pending_handle_cost += (
             n * self.ctx.machine.config.compute.per_message_handle
         )
-        if self.recv_batch is not None:
-            self.recv_batch(batch)
-        elif self.recv is not None:
-            for item in batch:
-                self.recv(item)
+        prof = self._prof
+        if prof is not None and lins is not None:
+            prof.delivered_batch(lins, self.rank, self.ctx.sim.now)
+            # A whole batch is handled by one callback invocation; charge
+            # follow-on messages to its first member (the causal DAG keeps
+            # one representative edge rather than a fan-in of n).
+            prev, prof.cause = prof.cause, int(lins[0])
         else:
-            raise RuntimeError("mailbox has no batch receive callback")
+            prof = None
+        try:
+            if self.recv_batch is not None:
+                self.recv_batch(batch)
+            elif self.recv is not None:
+                for item in batch:
+                    self.recv(item)
+            else:
+                raise RuntimeError("mailbox has no batch receive callback")
+        finally:
+            if prof is not None:
+                prof.cause = prev
 
-    def _deliver_bcast(self, payload: Any) -> None:
+    def _deliver_bcast(self, payload: Any, lin=None) -> None:
         self.stats.bcast_deliveries += 1
         self._pending_handle_cost += self.ctx.machine.config.compute.per_message_handle
         if self.recv_bcast is None:
             raise RuntimeError("mailbox has no broadcast receive callback")
-        self.recv_bcast(payload)
+        prof = self._prof
+        if prof is None or lin is None:
+            self.recv_bcast(payload)
+            return
+        prof.delivered(lin, self.rank, self.ctx.sim.now)
+        prev, prof.cause = prof.cause, lin
+        try:
+            self.recv_bcast(payload)
+        finally:
+            prof.cause = prev
 
     def _charge_pending_handles(self) -> Generator:
         if self._pending_handle_cost > 0:
             cost, self._pending_handle_cost = self._pending_handle_cost, 0.0
+            t0 = self.ctx.sim.now
             yield self.ctx.sim.timeout(cost)
+            if self._prof is not None:
+                self._prof.span(self.ctx.world_rank, "handler", t0, self.ctx.sim.now)
 
     # ------------------------------------------------------------ termination
     def _send_term(self, dest: int, payload, tag) -> Generator:
@@ -369,7 +486,10 @@ class Mailbox:
     def _advance_term(self) -> Generator:
         """Drive the detector; trace any rounds completed by this call."""
         rounds_before = self._term.rounds_completed
+        t0 = self.ctx.sim.now
         progressed = yield from self._term.advance()
+        if self._prof is not None:
+            self._prof.span(self.ctx.world_rank, "term", t0, self.ctx.sim.now)
         completed = self._term.rounds_completed - rounds_before
         if completed:
             tracer = self.ctx.sim.tracer
@@ -459,6 +579,8 @@ class Mailbox:
         yield self.ctx.sim.any_of([get_app, get_term])
         idle = self.ctx.sim.now - blocked_at
         self.stats.idle_time += idle
+        if self._prof is not None:
+            self._prof.span(self.ctx.world_rank, "idle", blocked_at, self.ctx.sim.now)
         tracer = self.ctx.sim.tracer
         if tracer is not None and tracer.wants("mailbox"):
             tracer.complete(blocked_at, idle, "mailbox", "idle", self._lane)

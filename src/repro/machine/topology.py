@@ -117,6 +117,8 @@ class Machine:
         cost = net.packet_costs(nbytes)[2]  # local_time, memoised
         if cost > 0:
             yield self.sim.timeout(cost)
+        if tracer is not None and tracer.lineage is not None and packet.lin is not None:
+            tracer.lineage.packet_delivered(packet.lin, self.sim.now, local=True)
         deliver(packet)
 
     def transmit_remote(
@@ -156,6 +158,8 @@ class Machine:
                 self.sim.now, "mpi", "packet_on_wire", f"rank {src}",
                 dst=dst, nbytes=nbytes,
             )
+        if tracer is not None and tracer.lineage is not None and packet.lin is not None:
+            tracer.lineage.packet_wire(packet.lin, self.sim.now)
         self.sim.process(
             self._in_flight(dst, dst_node, nbytes, packet, deliver),
             name=f"pkt:{src}->{dst}",
@@ -173,6 +177,10 @@ class Machine:
         net = self.config.net
         nic_time, remote_delay, _ = net.packet_costs(nbytes)
         yield self.sim.timeout(remote_delay)
+        tracer = self.sim.tracer
+        prof = tracer.lineage if tracer is not None else None
+        if prof is not None and packet.lin is not None:
+            prof.packet_rx(packet.lin, self.sim.now)
         yield from self.nic_rx[dst_node].timed(nic_time)
         if net.recv_overhead > 0:
             yield self.sim.timeout(net.recv_overhead)
@@ -182,6 +190,8 @@ class Machine:
                 self.sim.now, "mpi", "packet_delivered", f"rank {dst}",
                 nbytes=nbytes,
             )
+        if prof is not None and packet.lin is not None:
+            prof.packet_delivered(packet.lin, self.sim.now)
         deliver(packet)
 
     def transmit(

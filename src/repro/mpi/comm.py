@@ -94,8 +94,13 @@ class Comm:
         tag: Hashable = 0,
         nbytes: Optional[int] = None,
         kind: str = KIND_P2P,
+        lin=None,
     ) -> Generator:
-        """Blocking (buffered) send.  ``yield from comm.send(...)``."""
+        """Blocking (buffered) send.  ``yield from comm.send(...)``.
+
+        ``lin`` is an optional causal-profiler packet id carried on the
+        packet envelope (see :mod:`repro.trace.profile`).
+        """
         src_w = self._world_rank
         dst_w = self._members[dest]
         size = payload_nbytes(payload, nbytes) + HEADER_BYTES
@@ -103,7 +108,7 @@ class Comm:
             payload = payload.copy()  # MPI copies the buffer; avoid aliasing
         pkt = Packet(
             src=src_w, dst=dst_w, ctx=self.ctx, kind=kind, tag=tag,
-            payload=payload, nbytes=size,
+            payload=payload, nbytes=size, lin=lin,
         )
         machine = self.world.machine
         deliver = self.world.inboxes[dst_w].deliver

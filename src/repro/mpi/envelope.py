@@ -40,7 +40,10 @@ class Packet:
     ``src``/``dst`` are *world* ranks.  ``ctx`` is the communicator
     context id (isolates communicators from each other, like MPI context
     ids); ``kind`` separates traffic classes so upper layers can subscribe
-    whole classes to dedicated stores.
+    whole classes to dedicated stores.  ``lin`` is the causal profiler's
+    packet id (:mod:`repro.trace.profile`) when profiling is enabled --
+    the machine layer stamps transmission stages against it -- and
+    ``None`` otherwise.
     """
 
     src: int
@@ -50,6 +53,7 @@ class Packet:
     tag: Hashable
     payload: Any
     nbytes: int
+    lin: Any = None
 
     def matches(self, ctx: int, kind: str, src, tag) -> bool:
         """Whether this packet satisfies a posted receive."""

@@ -22,15 +22,25 @@ Typical use::
 or, from the bench CLI::
 
     python -m repro.bench fig6 --trace trace.json --metrics metrics.csv
+
+Beyond event tracing, ``Tracer(profile=True)`` enables the causal
+message-lineage profiler (:mod:`repro.trace.profile`): per-message
+causal DAGs, critical-path extraction with per-hop stage breakdowns,
+and per-rank time attribution, rendered to a self-contained HTML report
+by :mod:`repro.trace.profile_report` (CLI:
+``python -m repro.bench 6a --profile``).
 """
 
 from .chrome import export_chrome, to_chrome_events
 from .metrics import COLUMNS as METRIC_COLUMNS
 from .metrics import compute_metrics, export_metrics
+from .profile import BUCKETS, STAGES, LineageProfiler, SchemeProfile, analyze_profile
+from .profile_report import render_html, report_document, write_report
 from .tracer import (
     ALL_CATEGORIES,
     DEFAULT_CATEGORIES,
     CallbackSink,
+    JsonlSink,
     MemorySink,
     Sink,
     TraceEvent,
@@ -39,15 +49,23 @@ from .tracer import (
 
 __all__ = [
     "ALL_CATEGORIES",
+    "BUCKETS",
     "CallbackSink",
     "DEFAULT_CATEGORIES",
+    "JsonlSink",
+    "LineageProfiler",
     "METRIC_COLUMNS",
     "MemorySink",
+    "STAGES",
+    "SchemeProfile",
     "Sink",
     "TraceEvent",
     "Tracer",
+    "analyze_profile",
     "compute_metrics",
     "export_chrome",
     "export_metrics",
-    "to_chrome_events",
+    "render_html",
+    "report_document",
+    "write_report",
 ]

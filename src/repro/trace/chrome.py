@@ -9,6 +9,13 @@ occupancy holds and queue-depth counters.
 Timestamps are converted from simulated seconds to the format's
 microseconds.  The format reference is the "Trace Event Format" document
 (the JSON array-of-events flavour, ``{"traceEvents": [...]}``).
+
+Clock domains: almost every category carries *simulated* time, but the
+``exec`` category (host-side job-pool records from :mod:`repro.exec`)
+carries host wall-clock seconds since pool start.  Interleaving the two
+on one timeline would be meaningless, so ``exec`` events are exported to
+their own process group (``host (wall clock)``, pid
+:data:`PID_HOST`) instead of the simulated-time groups.
 """
 
 from __future__ import annotations
@@ -19,10 +26,12 @@ from typing import Dict, List, Tuple
 
 from .tracer import Tracer
 
-#: pid values for the three lane groups.
+#: pid values for the lane groups.  The first three carry simulated
+#: time; PID_HOST is the separate host wall-clock domain (``exec``).
 PID_RANKS = 1
 PID_NIC = 2
 PID_OTHER = 3
+PID_HOST = 4
 
 _RANK_RE = re.compile(r"^rank (\d+)$")
 _NIC_RE = re.compile(r"^nic_(tx|rx)\[(\d+)\]$")
@@ -54,10 +63,12 @@ def _metadata(pid: int, name: str, tid: int = 0, kind: str = "process_name") -> 
 def to_chrome_events(tracer: Tracer) -> List[dict]:
     """Convert the tracer's buffered events to trace_event dicts."""
     other_tids: Dict[str, int] = {}
+    host_tids: Dict[str, int] = {}
     out: List[dict] = [
         _metadata(PID_RANKS, "ranks"),
         _metadata(PID_NIC, "nic"),
         _metadata(PID_OTHER, "sim"),
+        _metadata(PID_HOST, "host (wall clock)"),
     ]
     # Synthesize every rank/NIC lane from the bound machine shape so the
     # timeline is complete even for lanes that never emitted an event.
@@ -72,10 +83,20 @@ def to_chrome_events(tracer: Tracer) -> List[dict]:
         )
     seen_lanes = set()
     for ev in tracer.events:
-        pid, tid = _lane_pid_tid(ev.lane, other_tids)
-        if pid == PID_OTHER and ev.lane not in seen_lanes:
-            seen_lanes.add(ev.lane)
-            out.append(_metadata(PID_OTHER, ev.lane, tid=tid, kind="thread_name"))
+        if ev.cat == "exec":
+            # Host wall-clock domain: never interleave with simulated time.
+            tid = host_tids.setdefault(ev.lane, len(host_tids))
+            pid = PID_HOST
+            if ("host", ev.lane) not in seen_lanes:
+                seen_lanes.add(("host", ev.lane))
+                out.append(
+                    _metadata(PID_HOST, ev.lane, tid=tid, kind="thread_name")
+                )
+        else:
+            pid, tid = _lane_pid_tid(ev.lane, other_tids)
+            if pid == PID_OTHER and ev.lane not in seen_lanes:
+                seen_lanes.add(ev.lane)
+                out.append(_metadata(PID_OTHER, ev.lane, tid=tid, kind="thread_name"))
         rec: dict = {
             "name": ev.name,
             "cat": ev.cat,

@@ -1,0 +1,264 @@
+"""Self-contained HTML (and JSON) rendering of causal profiles.
+
+:func:`write_report` takes the per-scheme :class:`~repro.trace.profile.
+SchemeProfile` analyses of one workload and writes
+
+* a machine-readable JSON document (``schema`` versioned, mirrors
+  ``SchemeProfile.as_dict``), and
+* a single-file HTML report with **no external assets** (inline CSS,
+  inline SVG): a side-by-side scheme comparison, per-scheme
+  critical-path tables with stage-share bars, per-rank utilization
+  strips, and per-hop latency histograms.
+
+The HTML is deliberately dependency-free so it can be attached to CI
+runs and opened anywhere.
+"""
+
+from __future__ import annotations
+
+import html
+import json
+from typing import Dict, List, Optional
+
+from .profile import BUCKETS, SchemeProfile
+
+#: JSON document schema version.
+SCHEMA = 1
+
+#: Rows shown in the HTML critical-path table (the JSON keeps the full
+#: chain).
+MAX_CP_ROWS = 30
+
+#: Stage/bucket colors (colorblind-safe-ish categorical palette).
+_COLORS = {
+    "compute": "#4477aa",
+    "inject": "#4477aa",
+    "serialize": "#66ccee",
+    "queue": "#228833",
+    "nic_wait": "#ee6677",
+    "nic": "#aa3377",
+    "wire": "#ccbb44",
+    "local": "#bbbbbb",
+    "deliver": "#ff9955",
+    "handler": "#ff9955",
+    "term": "#999944",
+    "term_tail": "#999944",
+    "idle": "#dddddd",
+}
+
+_CSS = """
+body { font-family: -apple-system, 'Segoe UI', Helvetica, Arial, sans-serif;
+       margin: 24px auto; max-width: 1100px; color: #1c1c1c; }
+h1 { font-size: 1.5em; } h2 { font-size: 1.2em; margin-top: 1.6em; }
+h3 { font-size: 1.0em; margin-bottom: 0.3em; }
+table { border-collapse: collapse; margin: 8px 0 16px; font-size: 0.85em; }
+th, td { border: 1px solid #ccc; padding: 3px 8px; text-align: right; }
+th { background: #f2f2f2; } td.l, th.l { text-align: left; }
+.bar { display: flex; height: 16px; width: 100%; max-width: 720px;
+       border: 1px solid #aaa; margin: 2px 0; }
+.bar div { height: 100%; }
+.strip { display: flex; align-items: center; margin: 1px 0; }
+.strip .lbl { width: 72px; font-size: 0.75em; color: #555; }
+.legend { font-size: 0.8em; margin: 6px 0; }
+.legend span { display: inline-block; margin-right: 12px; }
+.legend i { display: inline-block; width: 10px; height: 10px;
+            margin-right: 4px; border: 1px solid #888; }
+.note { color: #666; font-size: 0.8em; }
+"""
+
+
+def _fmt_us(seconds: float) -> str:
+    return f"{seconds * 1e6:.2f}"
+
+
+def _fmt_pct(frac: float) -> str:
+    return f"{100.0 * frac:.1f}%"
+
+
+def _legend(keys) -> str:
+    parts = [
+        f'<span><i style="background:{_COLORS.get(k, "#888")}"></i>{html.escape(k)}</span>'
+        for k in keys
+    ]
+    return f'<div class="legend">{"".join(parts)}</div>'
+
+
+def _share_bar(parts: Dict[str, float], total: float, title: str = "") -> str:
+    """A horizontal stacked bar of ``parts`` normalized by ``total``."""
+    if total <= 0:
+        return '<div class="bar"></div>'
+    cells = []
+    for name, value in parts.items():
+        if value <= 0:
+            continue
+        pct = 100.0 * value / total
+        if pct < 0.05:
+            continue
+        tip = f"{html.escape(name)}: {_fmt_us(value)}us ({pct:.1f}%)"
+        cells.append(
+            f'<div style="width:{pct:.2f}%;background:{_COLORS.get(name, "#888")}"'
+            f' title="{tip}"></div>'
+        )
+    return f'<div class="bar" title="{html.escape(title)}">{"".join(cells)}</div>'
+
+
+def _histogram_svg(hist: List, title: str) -> str:
+    """A tiny inline-SVG bar chart of one latency histogram."""
+    if not hist:
+        return f'<p class="note">{html.escape(title)}: no packets</p>'
+    bar_w, gap, height = 34, 4, 90
+    width = len(hist) * (bar_w + gap) + gap
+    peak = max(count for _label, count in hist) or 1
+    bars = []
+    for i, (label, count) in enumerate(hist):
+        h = round((height - 20) * count / peak)
+        x = gap + i * (bar_w + gap)
+        y = height - 14 - h
+        bars.append(
+            f'<rect x="{x}" y="{y}" width="{bar_w}" height="{h}" fill="#4477aa">'
+            f"<title>{html.escape(label)}: {count}</title></rect>"
+            f'<text x="{x + bar_w / 2}" y="{height - 3}" font-size="7"'
+            f' text-anchor="middle">{html.escape(label)}</text>'
+        )
+    return (
+        f"<h3>{html.escape(title)}</h3>"
+        f'<svg width="{width}" height="{height}" role="img">{"".join(bars)}</svg>'
+    )
+
+
+def _cp_table(profile: SchemeProfile) -> str:
+    rows = []
+    chain = profile.critical_path
+    shown = chain[-MAX_CP_ROWS:]
+    for step in shown:
+        route = " &rarr; ".join(
+            [str(step["src"])]
+            + [f'{h["to"]}{"" if not h["local"] else "*"}' for h in step["hops"]]
+        )
+        stage_sums: Dict[str, float] = {}
+        for hop in step["hops"]:
+            for k, v in hop["stages"].items():
+                stage_sums[k] = stage_sums.get(k, 0.0) + v
+        cells = "".join(
+            f"<td>{_fmt_us(stage_sums.get(k, 0.0))}</td>"
+            for k in ("serialize", "queue", "nic_wait", "nic", "wire", "local", "deliver")
+        )
+        rows.append(
+            f'<tr><td>{step["lid"]}</td><td class="l">{html.escape(step["kind"])}</td>'
+            f'<td class="l">{route}</td>'
+            f'<td>{_fmt_us(step["gap"])}</td>{cells}'
+            f'<td>{_fmt_us(step["handled"] - step["inject"])}</td></tr>'
+        )
+    note = ""
+    if len(chain) > len(shown):
+        note = (
+            f'<p class="note">Showing the last {len(shown)} of {len(chain)} '
+            f"chain steps (full chain in the JSON report).</p>"
+        )
+    header = (
+        "<tr><th>lid</th><th class='l'>kind</th><th class='l'>route</th>"
+        "<th>compute</th><th>serialize</th><th>queue</th><th>nic_wait</th>"
+        "<th>nic</th><th>wire</th><th>local</th><th>deliver</th>"
+        "<th>inject&rarr;handled</th></tr>"
+    )
+    return (
+        f"{note}<table>{header}{''.join(rows)}</table>"
+        '<p class="note">All times in microseconds; * marks an on-node hop; '
+        "compute is the causal gap from the parent message's delivery.</p>"
+    )
+
+
+def _rank_strips(profile: SchemeProfile) -> str:
+    strips = []
+    for row in profile.rank_buckets:
+        parts = {b: row[b] for b in BUCKETS}
+        bar = _share_bar(parts, row["total"], title=f"rank {row['rank']}")
+        strips.append(
+            f'<div class="strip"><span class="lbl">rank {row["rank"]}</span>'
+            f"{bar}</div>"
+        )
+    return "".join(strips)
+
+
+def _scheme_section(profile: SchemeProfile) -> str:
+    cp = profile.cp_stages
+    out = [f"<h2>Scheme: {html.escape(profile.scheme)}</h2>"]
+    out.append(
+        f"<p>elapsed {_fmt_us(profile.elapsed)}us &middot; "
+        f"{profile.messages} messages &middot; {profile.packets} packets &middot; "
+        f"critical-path communication share {_fmt_pct(profile.comm_share)}</p>"
+    )
+    out.append("<h3>Critical-path stage shares</h3>")
+    out.append(_share_bar(cp, profile.elapsed))
+    out.append(_legend([k for k, v in cp.items() if v > 0]))
+    out.append("<h3>Critical path to quiescence</h3>")
+    out.append(_cp_table(profile))
+    out.append("<h3>Per-rank utilization</h3>")
+    out.append(_rank_strips(profile))
+    out.append(_legend(BUCKETS))
+    out.append(_histogram_svg(profile.hop_latency.get("remote", []),
+                              "Per-hop latency, remote hops"))
+    out.append(_histogram_svg(profile.hop_latency.get("local", []),
+                              "Per-hop latency, local hops"))
+    return "".join(out)
+
+
+def _comparison_table(profiles: List[SchemeProfile]) -> str:
+    header = (
+        "<tr><th class='l'>scheme</th><th>elapsed (us)</th><th>messages</th>"
+        "<th>packets</th><th>comm share</th><th>dominant cp stage</th>"
+        "<th>idle share</th></tr>"
+    )
+    rows = []
+    for p in profiles:
+        comm = {
+            k: v for k, v in p.cp_stages.items() if k not in ("compute", "term_tail")
+        }
+        dominant = max(comm, key=comm.get) if any(comm.values()) else "-"
+        total_time = sum(r["total"] for r in p.rank_buckets) or 1.0
+        idle_share = p.bucket_totals.get("idle", 0.0) / total_time
+        rows.append(
+            f'<tr><td class="l">{html.escape(p.scheme)}</td>'
+            f"<td>{_fmt_us(p.elapsed)}</td><td>{p.messages}</td>"
+            f"<td>{p.packets}</td><td>{_fmt_pct(p.comm_share)}</td>"
+            f'<td class="l">{html.escape(dominant)}</td>'
+            f"<td>{_fmt_pct(idle_share)}</td></tr>"
+        )
+    return f"<table>{header}{''.join(rows)}</table>"
+
+
+def render_html(profiles: List[SchemeProfile], title: str) -> str:
+    """Render the full self-contained HTML report."""
+    body = [f"<h1>{html.escape(title)}</h1>"]
+    body.append("<h2>Scheme comparison</h2>")
+    body.append(_comparison_table(profiles))
+    for p in profiles:
+        body.append(_scheme_section(p))
+    return (
+        "<!DOCTYPE html><html><head><meta charset='utf-8'>"
+        f"<title>{html.escape(title)}</title><style>{_CSS}</style></head>"
+        f"<body>{''.join(body)}</body></html>"
+    )
+
+
+def report_document(profiles: List[SchemeProfile], meta: Optional[dict] = None) -> dict:
+    """The machine-readable JSON document for ``profiles``."""
+    return {
+        "schema": SCHEMA,
+        "meta": meta or {},
+        "schemes": [p.as_dict() for p in profiles],
+    }
+
+
+def write_report(
+    profiles: List[SchemeProfile],
+    html_path: str,
+    json_path: str,
+    title: str,
+    meta: Optional[dict] = None,
+) -> None:
+    """Write the HTML and JSON reports for one profiled workload."""
+    with open(html_path, "w") as f:
+        f.write(render_html(profiles, title))
+    with open(json_path, "w") as f:
+        json.dump(report_document(profiles, meta), f, indent=1)

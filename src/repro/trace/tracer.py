@@ -21,6 +21,7 @@ Events are fanned out to pluggable :class:`Sink` objects.  The default
 
 from __future__ import annotations
 
+import json
 from time import perf_counter
 from typing import Dict, Iterable, List, NamedTuple, Optional, Sequence, Tuple
 
@@ -74,6 +75,50 @@ class CallbackSink(Sink):
         self.callback(event)
 
 
+def _jsonable(value):
+    """Best-effort JSON coercion for event args (numpy scalars, tuples)."""
+    item = getattr(value, "item", None)
+    if item is not None:  # numpy scalar
+        return item()
+    return repr(value)
+
+
+class JsonlSink(Sink):
+    """Streams events to a JSON-lines file -- constant memory.
+
+    The in-memory :class:`MemorySink` is unbounded; for long traced runs
+    attach a ``JsonlSink`` instead (alone, or alongside a ``MemorySink``)
+    and post-process the ``.jsonl`` file.  One JSON object per line with
+    the :class:`TraceEvent` fields (``dur``/``args`` omitted when empty).
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._file = open(path, "w")
+        #: Events written so far.
+        self.count = 0
+
+    def record(self, event: TraceEvent) -> None:
+        rec: Dict[str, object] = {
+            "ts": event.ts,
+            "cat": event.cat,
+            "name": event.name,
+            "ph": event.ph,
+            "lane": event.lane,
+        }
+        if event.dur:
+            rec["dur"] = event.dur
+        if event.args:
+            rec["args"] = event.args
+        self._file.write(json.dumps(rec, default=_jsonable))
+        self._file.write("\n")
+        self.count += 1
+
+    def close(self) -> None:
+        if not self._file.closed:
+            self._file.close()
+
+
 #: Categories recorded by default: application annotations, mailbox
 #: activity (flush/forward/termination/idle), transport packets,
 #: resource (NIC) occupancy, and host-side job-pool execution records
@@ -96,15 +141,30 @@ class Tracer:
     categories:
         Enabled event categories (see :data:`DEFAULT_CATEGORIES`).
         Layers skip recording entirely for disabled categories.
+    profile:
+        Install a :class:`~repro.trace.profile.LineageProfiler` as
+        :attr:`lineage`: the instrumented layers then track per-message
+        causal lineage, packet transmission stages and per-rank time
+        attribution (see :mod:`repro.trace.profile`).  Like the event
+        hooks, profiling never perturbs the simulation.
     """
 
     def __init__(
         self,
         sinks: Optional[Sequence[Sink]] = None,
         categories: Iterable[str] = DEFAULT_CATEGORIES,
+        profile: bool = False,
     ) -> None:
         self.sinks: List[Sink] = list(sinks) if sinks is not None else [MemorySink()]
         self.categories = frozenset(categories)
+        #: The :class:`~repro.trace.profile.LineageProfiler`, or ``None``.
+        #: Layers cache this once at construction; ``None`` keeps every
+        #: lineage hook a single attribute check.
+        self.lineage = None
+        if profile:
+            from .profile import LineageProfiler
+
+            self.lineage = LineageProfiler()
         #: Machine shape, filled in by :meth:`bind` when the tracer is
         #: attached to a world; lets exporters synthesize every rank/NIC
         #: lane even if some never emitted an event.
@@ -168,7 +228,12 @@ class Tracer:
         for sink in self.sinks:
             if isinstance(sink, MemorySink):
                 return sink.events
-        raise ValueError("tracer has no MemorySink; use a streaming sink's output")
+        configured = ", ".join(type(s).__name__ for s in self.sinks) or "no sinks"
+        raise ValueError(
+            f"Tracer.events needs a MemorySink, but this tracer has {configured}; "
+            "add a MemorySink or read the streaming sink's output (e.g. the "
+            "JsonlSink's .jsonl file) instead"
+        )
 
     # -- exporters (convenience wrappers) ------------------------------------
     def export_chrome(self, path: str) -> None:

@@ -1,0 +1,94 @@
+"""End-to-end tests of the bench CLI's causal-profile mode."""
+
+import html.parser
+import json
+
+import pytest
+
+from repro.bench.cli import main
+from repro.bench.harness import SweepConfig
+from repro.bench.profiling import pick_nodes, profile_figure, run_profiled
+
+#: Tiny sweep: 2 nodes x 2 cores is the smallest shape where all four
+#: paper schemes are valid (NLNR needs nodes >= cores).
+TINY = SweepConfig(cores_per_node=2, node_counts=(2,), mailbox_capacity=64)
+
+
+class _HTMLChecker(html.parser.HTMLParser):
+    def __init__(self):
+        super().__init__()
+        self.tags = 0
+
+    def handle_starttag(self, tag, attrs):
+        self.tags += 1
+        for name, value in attrs:
+            assert name not in ("src", "href"), (
+                f"external asset reference <{tag} {name}={value!r}>"
+            )
+
+
+def test_pick_nodes_prefers_all_schemes_valid():
+    assert pick_nodes(TINY) == 2
+    assert pick_nodes(SweepConfig.quick()) == 4  # 4 cores -> first n >= 4
+    # No candidate large enough: fall back to the biggest offered.
+    small = SweepConfig(cores_per_node=8, node_counts=(1, 2), mailbox_capacity=64)
+    assert pick_nodes(small) == 2
+
+
+def test_profile_figure_covers_all_schemes():
+    profiles = profile_figure("6a", TINY)
+    assert [p.scheme for p in profiles] == [
+        "noroute", "node_local", "node_remote", "nlnr"
+    ]
+    for p in profiles:
+        assert p.elapsed > 0
+        assert p.messages > 0
+        assert p.packets > 0
+        assert p.critical_path
+        assert len(p.rank_buckets) == p.nranks == 4
+        assert sum(p.cp_stages.values()) == pytest.approx(p.elapsed, rel=1e-9)
+
+
+def test_profile_figure_rejects_unprofilable():
+    with pytest.raises(ValueError, match="no profiled mode"):
+        profile_figure("capacity", TINY)
+
+
+def test_run_profiled_writes_reports(tmp_path, capsys):
+    html_path = tmp_path / "p.html"
+    json_path = tmp_path / "p.json"
+    table = run_profiled("6a", TINY, str(html_path), str(json_path))
+    rendered = table.render()
+    assert "nlnr" in rendered and "comm_share" in rendered
+
+    doc = json.loads(json_path.read_text())
+    assert doc["schema"] == 1
+    assert doc["meta"]["fig"] == "6a"
+    assert len(doc["schemes"]) == 4
+    for scheme in doc["schemes"]:
+        assert scheme["critical_path"]
+        assert scheme["rank_buckets"]
+        assert set(scheme["cp_stages"])
+
+    page = html_path.read_text()
+    checker = _HTMLChecker()
+    checker.feed(page)
+    assert checker.tags > 50  # a real document, not a stub
+    assert page.startswith("<!DOCTYPE html>")
+
+
+def test_cli_profile_mode(tmp_path, capsys, monkeypatch):
+    # Shrink the sweep the CLI builds so the smoke test stays fast.
+    monkeypatch.setattr(SweepConfig, "quick", classmethod(lambda cls: TINY))
+    out_path = tmp_path / "profile.html"
+    rc = main(["6a", "--profile", "--profile-out", str(out_path)])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "Causal profile" in out and "wall-clock" in out
+    assert out_path.exists()
+    assert json.loads((tmp_path / "profile.json").read_text())["schemes"]
+
+
+def test_cli_profile_rejects_unprofilable_figure(tmp_path):
+    with pytest.raises(SystemExit):
+        main(["capacity", "--profile", "--profile-out", str(tmp_path / "p.html")])

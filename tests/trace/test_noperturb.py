@@ -53,10 +53,10 @@ def _run(tracer=None, scheme="nlnr"):
     return world.run(_mixed_main)
 
 
-@pytest.mark.parametrize("scheme", ["noroute", "node_local", "nlnr"])
-def test_traced_run_is_bit_identical(scheme):
-    base = _run(tracer=None, scheme=scheme)
-    traced = _run(tracer=Tracer(categories=ALL_CATEGORIES), scheme=scheme)
+SCHEMES = ["noroute", "node_local", "node_remote", "nlnr"]
+
+
+def _assert_identical(traced, base):
     assert traced.elapsed == base.elapsed  # exact, not approx
     assert traced.finish_times == base.finish_times
     assert traced.values == base.values
@@ -64,6 +64,27 @@ def test_traced_run_is_bit_identical(scheme):
     for a, b in zip(traced.per_rank_stats, base.per_rank_stats):
         assert a.as_dict() == b.as_dict()
     assert traced.transport == base.transport
+
+
+@pytest.mark.parametrize("scheme", SCHEMES)
+def test_traced_run_is_bit_identical(scheme):
+    base = _run(tracer=None, scheme=scheme)
+    traced = _run(tracer=Tracer(categories=ALL_CATEGORIES), scheme=scheme)
+    _assert_identical(traced, base)
+
+
+@pytest.mark.parametrize("scheme", SCHEMES)
+def test_profiled_run_is_bit_identical(scheme):
+    """Lineage profiling charges zero cost and consumes no randomness."""
+    base = _run(tracer=None, scheme=scheme)
+    tracer = Tracer(categories=ALL_CATEGORIES, profile=True)
+    profiled = _run(tracer=tracer, scheme=scheme)
+    _assert_identical(profiled, base)
+    # The profiler actually recorded the run it didn't perturb.
+    prof = tracer.lineage
+    assert prof.msgs or prof.batch_msgs
+    assert prof.packets
+    assert prof.spans
 
 
 def test_traced_run_is_deterministic():

@@ -1,0 +1,225 @@
+"""Tests for the causal message-lineage profiler (repro.trace.profile).
+
+The closed-form tests run hand-built scenarios whose critical paths are
+computable exactly from the :class:`NetworkModel` / :class:`ComputeModel`
+parameters, and assert the profiler's stage decomposition reproduces the
+arithmetic -- not just that numbers exist.
+"""
+
+import numpy as np
+import pytest
+
+from repro import YgmWorld
+from repro.machine import small
+from repro.trace import (
+    BUCKETS,
+    STAGES,
+    Tracer,
+    analyze_profile,
+    render_html,
+    report_document,
+)
+
+#: Explicit payload size used by the closed-form scenarios.
+PAYLOAD = 24
+
+
+def _profiled_world(nodes, cores, scheme):
+    tracer = Tracer(categories=(), profile=True)
+    world = YgmWorld(
+        small(nodes=nodes, cores_per_node=cores),
+        scheme=scheme,
+        seed=0,
+        tracer=tracer,
+    )
+    return world, tracer
+
+
+# ------------------------------------------------------- closed-form 2-node
+def _one_message_main(ctx):
+    mb = ctx.mailbox(recv=lambda m: None)
+    if ctx.rank == 0:
+        mb.post(1, "x", nbytes=PAYLOAD)
+    yield from mb.wait_empty()
+
+
+def test_single_remote_message_closed_form():
+    """2 nodes x 1 core, noroute, one message: every stage is exact.
+
+    Timeline (all quantities from the machine's cost models; nothing
+    else runs, so there is no contention anywhere):
+
+    * ``t=0``: rank 0 posts (enqueue), then ``wait_empty`` flushes.
+    * serialize = 1 message x ``per_message_queue``; the packet leaves
+      at ``t_out = serialize`` (queue time 0).
+    * sender side: ``send_overhead`` + TX NIC occupancy, uncontended.
+    * wire: ``remote_delay`` (eager packet, below the threshold).
+    * receiver side: RX NIC occupancy + ``recv_overhead``, uncontended.
+    * rank 1 is blocked waiting, so the delivery callback runs at the
+      arrival instant: deliver-wait 0.
+    """
+    world, tracer = _profiled_world(2, 1, "noroute")
+    res = world.run(_one_message_main)
+    cfg = world.machine_config
+    net, compute = cfg.net, cfg.compute
+
+    sp = analyze_profile(tracer.lineage, res, cfg, "noroute")
+    assert sp.messages == 1
+    assert len(sp.critical_path) == 1
+    step = sp.critical_path[0]
+    assert step["kind"] == "p2p"
+    assert (step["src"], step["dest"]) == (0, 1)
+    assert step["inject"] == 0.0
+    assert step["gap"] == 0.0
+    assert len(step["hops"]) == 1
+    hop = step["hops"][0]
+    assert (hop["from"], hop["to"]) == (0, 1)
+    assert hop["local"] is False
+
+    # Wire size: payload + per-entry header + per-packet header.
+    from repro.core.coalescing import ENTRY_HEADER_BYTES
+    from repro.mpi.envelope import HEADER_BYTES
+
+    wire_bytes = PAYLOAD + ENTRY_HEADER_BYTES + HEADER_BYTES
+    assert hop["nbytes"] == wire_bytes
+
+    serialize = compute.per_message_queue  # one queued message
+    nic = net.send_overhead + 2 * net.nic_time(wire_bytes) + net.recv_overhead
+    stages = hop["stages"]
+    assert stages["serialize"] == pytest.approx(serialize, abs=1e-15)
+    assert stages["queue"] == pytest.approx(0.0, abs=1e-15)
+    assert stages["nic_wait"] == pytest.approx(0.0, abs=1e-15)
+    assert stages["nic"] == pytest.approx(nic, abs=1e-15)
+    assert stages["wire"] == pytest.approx(net.remote_delay(wire_bytes), abs=1e-15)
+    assert stages["local"] == 0.0
+    assert stages["deliver"] == pytest.approx(0.0, abs=1e-15)
+
+    # End-to-end: inject -> handled equals the sum of the stages.
+    total = serialize + nic + net.remote_delay(wire_bytes)
+    assert step["handled"] - step["inject"] == pytest.approx(total, abs=1e-15)
+
+    # The chain plus the termination tail tiles the whole run.
+    assert set(sp.cp_stages) == set(STAGES)
+    assert sum(sp.cp_stages.values()) == pytest.approx(sp.elapsed, rel=1e-12)
+    assert sp.cp_stages["term_tail"] == pytest.approx(
+        sp.elapsed - step["handled"], abs=1e-15
+    )
+    assert 0.0 < sp.comm_share < 1.0
+
+
+def test_causal_chain_links_reply_to_request():
+    """A message posted from a delivery callback is the causal child."""
+
+    def main(ctx):
+        def on_recv(msg):
+            if msg == "ping":
+                ctx.mailboxes[0].post(0, "pong", nbytes=PAYLOAD)
+
+        mb = ctx.mailbox(recv=on_recv)
+        if ctx.rank == 0:
+            mb.post(1, "ping", nbytes=PAYLOAD)
+        yield from mb.wait_empty()
+
+    world, tracer = _profiled_world(2, 1, "noroute")
+    res = world.run(main)
+    sp = analyze_profile(tracer.lineage, res, world.machine_config, "noroute")
+
+    assert sp.messages == 2
+    # The last delivery is the pong; its parent chain reaches the ping.
+    assert len(sp.critical_path) == 2
+    ping, pong = sp.critical_path
+    assert (ping["src"], ping["dest"]) == (0, 1)
+    assert (pong["src"], pong["dest"]) == (1, 0)
+    # The pong is injected at the instant the ping is handled (the
+    # callback runs at delivery time): zero causal gap.
+    assert pong["inject"] == pytest.approx(ping["handled"], abs=1e-15)
+    assert pong["gap"] == pytest.approx(0.0, abs=1e-15)
+    # Raw log agrees: the pong's recorded parent is the ping's lid.
+    msgs = {lid: rec for lid, *rec in tracer.lineage.msgs}
+    pong_parent = msgs[pong["lid"]][3]
+    assert pong_parent == ping["lid"]
+
+
+# ----------------------------------------------------------- routed chains
+@pytest.mark.parametrize("scheme", ["node_local", "node_remote", "nlnr"])
+def test_routed_message_hop_chain_is_connected(scheme):
+    """Across-node messages traverse a connected multi-hop chain."""
+
+    def main(ctx):
+        mb = ctx.mailbox(recv=lambda m: None)
+        if ctx.rank == 0:
+            mb.post(3, "x", nbytes=PAYLOAD)  # other node, other core
+        yield from mb.wait_empty()
+
+    world, tracer = _profiled_world(2, 2, scheme)
+    res = world.run(main)
+    sp = analyze_profile(tracer.lineage, res, world.machine_config, scheme)
+
+    assert sp.messages == 1
+    step = sp.critical_path[0]
+    hops = step["hops"]
+    # Routed schemes relay 0 -> 3 through an intermediary.
+    assert len(hops) >= 2
+    assert hops[0]["from"] == 0
+    assert hops[-1]["to"] == 3
+    for a, b in zip(hops, hops[1:]):
+        assert a["to"] == b["from"]
+    for hop in hops:
+        assert all(v >= 0 for v in hop["stages"].values())
+    # The per-hop stage sum reproduces the end-to-end latency.
+    total = sum(sum(h["stages"].values()) for h in hops)
+    assert step["handled"] - step["inject"] == pytest.approx(total, rel=1e-9)
+
+
+def test_batch_lineage_and_rank_buckets():
+    """Vectorized sends are tracked per record; bucket sums stay bounded."""
+
+    def main(ctx):
+        mb = ctx.mailbox(recv_batch=lambda b: None, recv=lambda m: None)
+        if ctx.rank == 0:
+            dests = np.arange(ctx.nranks, dtype=np.int64).repeat(8)
+            yield from mb.send_batch(dests, dests.copy())
+        yield from mb.wait_empty()
+
+    world, tracer = _profiled_world(2, 2, "nlnr")
+    res = world.run(main)
+    sp = analyze_profile(tracer.lineage, res, world.machine_config, "nlnr")
+
+    assert sp.messages == 4 * 8
+    assert sp.nranks == 4
+    assert len(sp.rank_buckets) == 4
+    for row in sp.rank_buckets:
+        assert set(BUCKETS) <= set(row)
+        assert row["total"] > 0
+        # The named buckets plus the inject remainder tile the rank's time.
+        assert sum(row[b] for b in BUCKETS) == pytest.approx(
+            row["total"], rel=1e-9
+        )
+        assert all(row[b] >= 0 for b in BUCKETS)
+    # Histograms exist for whichever hop kinds occurred.
+    assert set(sp.hop_latency) == {"local", "remote"}
+    assert sum(c for _l, c in sp.hop_latency["remote"]) > 0
+
+
+# ------------------------------------------------------------- report layer
+def test_report_document_and_html_self_contained():
+    world, tracer = _profiled_world(2, 1, "noroute")
+    res = world.run(_one_message_main)
+    sp = analyze_profile(tracer.lineage, res, world.machine_config, "noroute")
+
+    doc = report_document([sp], meta={"fig": "test"})
+    assert doc["schema"] == 1
+    assert doc["meta"] == {"fig": "test"}
+    assert [s["scheme"] for s in doc["schemes"]] == ["noroute"]
+    import json
+
+    json.dumps(doc)  # must be JSON-serializable as-is
+
+    page = render_html([sp], "unit test")
+    assert page.startswith("<!DOCTYPE html>")
+    assert "unit test" in page
+    for marker in ("Critical path to quiescence", "Per-rank utilization"):
+        assert marker in page
+    # Self-contained: no external scripts, stylesheets or images.
+    for needle in ("src=", "href=", "http://", "https://"):
+        assert needle not in page

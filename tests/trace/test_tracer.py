@@ -10,6 +10,7 @@ from repro.machine import small
 from repro.trace import (
     ALL_CATEGORIES,
     CallbackSink,
+    JsonlSink,
     MemorySink,
     Tracer,
     compute_metrics,
@@ -47,8 +48,43 @@ def test_callback_sink_streams_events():
 
 def test_tracer_without_memory_sink_rejects_event_access():
     tr = Tracer(sinks=[CallbackSink(lambda ev: None)])
-    with pytest.raises(ValueError):
+    with pytest.raises(ValueError, match="CallbackSink"):
         _ = tr.events
+    with pytest.raises(ValueError, match="no sinks"):
+        _ = Tracer(sinks=[]).events
+
+
+def test_jsonl_sink_streams_events(tmp_path):
+    path = tmp_path / "events.jsonl"
+    sink = JsonlSink(str(path))
+    tr = Tracer(sinks=[sink])
+    tr.instant(1.0, "mpi", "packet_injected", "rank 0", dst=3, nbytes=64)
+    tr.complete(2.0, 0.5, "resource", "hold", "nic_tx[0]")
+    tr.counter(3.0, "mpi", "unexpected_depth", "rank 1", np.int64(7))
+    tr.close()
+    assert sink.count == 3
+    lines = path.read_text().splitlines()
+    assert len(lines) == 3
+    recs = [json.loads(line) for line in lines]
+    assert recs[0] == {
+        "ts": 1.0, "cat": "mpi", "name": "packet_injected", "ph": "i",
+        "lane": "rank 0", "args": {"dst": 3, "nbytes": 64},
+    }
+    assert recs[1]["dur"] == 0.5
+    assert recs[2]["args"] == {"value": 7}  # numpy scalar coerced
+    sink.close()  # idempotent
+
+
+def test_jsonl_sink_full_run_matches_memory_sink(tmp_path):
+    path = tmp_path / "run.jsonl"
+    sink = JsonlSink(str(path))
+    tr = Tracer(sinks=[MemorySink(), sink])
+    _run_traced(tr)
+    tr.close()
+    lines = path.read_text().splitlines()
+    assert len(lines) == len(tr.events) == sink.count
+    for line in lines:
+        json.loads(line)
 
 
 # ------------------------------------------------------- instrumented runs
@@ -162,6 +198,38 @@ def test_chrome_events_timestamps_microseconds():
     evs = [e for e in to_chrome_events(tr) if e["ph"] == "X"]
     assert evs[0]["ts"] == pytest.approx(1.5e6)
     assert evs[0]["dur"] == pytest.approx(0.25e6)
+
+
+def test_chrome_exec_events_get_their_own_clock_domain():
+    """Host wall-clock (exec) events must not share a pid with simulated
+    ones: interleaving the two clock domains on one timeline would place
+    host-side job spans in the middle of microsecond-scale simulated
+    activity."""
+    from repro.trace.chrome import PID_HOST
+
+    tr = Tracer(categories=ALL_CATEGORIES)
+    tr.complete(1e-6, 5e-7, "mailbox", "flush", "rank 0")
+    tr.complete(0.2, 1.5, "exec", "job", "worker 0", job="fig6a[0]")
+    tr.complete(1.9, 0.3, "exec", "job", "worker 1", job="fig6a[1]")
+    evs = to_chrome_events(tr)
+
+    sim_pids = {e["pid"] for e in evs if e.get("cat") not in ("exec", None)}
+    exec_evs = [e for e in evs if e.get("cat") == "exec"]
+    assert exec_evs and all(e["pid"] == PID_HOST for e in exec_evs)
+    assert PID_HOST not in sim_pids
+    # Each host lane is a named thread in the host process group.
+    host_threads = {
+        e["args"]["name"]
+        for e in evs
+        if e["ph"] == "M" and e["name"] == "thread_name" and e["pid"] == PID_HOST
+    }
+    assert host_threads == {"worker 0", "worker 1"}
+    # The host process group itself is labelled as wall clock.
+    host_process = [
+        e for e in evs
+        if e["ph"] == "M" and e["name"] == "process_name" and e["pid"] == PID_HOST
+    ]
+    assert host_process and "wall clock" in host_process[0]["args"]["name"]
 
 
 # ------------------------------------------------------------- metrics table
