@@ -269,6 +269,15 @@ def main(argv: List[str] = None) -> int:
         metavar="NAME",
         help="with --perf: run only this benchmark (repeatable)",
     )
+    parser.add_argument(
+        "--perf-gate",
+        metavar="REPORT",
+        nargs="?",
+        const="BENCH_perf.json",
+        help="regression-gate a perf report (default: ./BENCH_perf.json): "
+        "fail if the columnar mailbox bench loses its floor over the "
+        "scalar bench, or drops >20%% below a comparable --perf-baseline",
+    )
     args = parser.parse_args(argv)
     if args.jobs is not None and args.jobs < 1:
         parser.error("--jobs must be >= 1")
@@ -290,11 +299,19 @@ def main(argv: List[str] = None) -> int:
         progress=stderr_progress,
     )
 
-    if args.perf:
-        from .perf import DEFAULT_REPEATS, run_perf
+    if args.perf_gate and not args.perf:
+        from .perf import run_gate
 
         try:
-            return run_perf(
+            return run_gate(args.perf_gate, baseline_path=args.perf_baseline)
+        except ValueError as exc:
+            parser.error(str(exc))
+
+    if args.perf:
+        from .perf import DEFAULT_REPEATS, run_gate, run_perf
+
+        try:
+            rc = run_perf(
                 out_path=args.perf_out,
                 repeats=args.repeats or DEFAULT_REPEATS,
                 smoke=args.smoke,
@@ -306,6 +323,10 @@ def main(argv: List[str] = None) -> int:
                     jobs=pool.jobs, cache=None, progress=stderr_progress
                 ),
             )
+            if rc == 0 and args.perf_gate:
+                # --perf --perf-gate: gate the report just written.
+                rc = run_gate(args.perf_out, baseline_path=args.perf_baseline)
+            return rc
         except (ValueError, OSError) as exc:
             parser.error(str(exc))
         except KeyboardInterrupt:

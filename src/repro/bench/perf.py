@@ -121,7 +121,69 @@ def bench_kernel_processes(smoke: bool) -> Tuple[float, Dict[str, Any]]:
 
 
 def bench_mailbox(smoke: bool) -> Tuple[float, Dict[str, Any]]:
-    """End-to-end mailbox throughput (scalar sends, messages/sec)."""
+    """End-to-end mailbox throughput on the columnar path (messages/sec).
+
+    The same machine shape and message count as ``mailbox_scalar_send``,
+    but injected through ``send_many`` in application-sized chunks so
+    messages ride the struct-of-arrays pipeline end to end.  The pair
+    records the columnar speedup in the perf trajectory; the perf gate
+    (``--perf-gate``) enforces a floor on their ratio.
+    """
+    from ..core import YgmWorld
+    from ..machine import bench_machine
+
+    nodes, cores = (2, 2) if smoke else (2, 4)
+    msgs = 500 if smoke else 4000
+    chunk = 1024  # one coalescing-buffer capacity per send_many call
+    machine = bench_machine(nodes, cores_per_node=cores)
+    nranks = nodes * cores
+
+    # Inputs are precomputed so the timed region measures the pipeline,
+    # not the benchmark's own chunk construction.
+    chunks = {
+        rank: [
+            (
+                [
+                    (rank + 1 + i % (nranks - 1)) % nranks
+                    for i in range(lo, min(lo + chunk, msgs))
+                ],
+                list(range(lo, min(lo + chunk, msgs))),
+            )
+            for lo in range(0, msgs, chunk)
+        ]
+        for rank in range(nranks)
+    }
+
+    def rank_main(ctx):
+        received = [0]
+
+        def on_recv(_v):
+            received[0] += 1
+
+        mb = ctx.mailbox(recv=on_recv)
+        for dests, payloads in chunks[ctx.rank]:
+            yield from mb.send_many(dests, payloads)
+        yield from mb.wait_empty()
+        return received[0]
+
+    world = YgmWorld(machine, scheme="node_local", seed=0, mailbox_capacity=1024)
+    t0 = time.perf_counter()
+    world.run(rank_main)
+    wall = time.perf_counter() - t0
+    return (msgs * nranks) / wall, {
+        "ranks": nranks,
+        "messages": msgs * nranks,
+        "chunk": chunk,
+    }
+
+
+def bench_mailbox_scalar(smoke: bool) -> Tuple[float, Dict[str, Any]]:
+    """End-to-end mailbox throughput (scalar sends, messages/sec).
+
+    The pre-PR-6 workload, unchanged: one ``send`` call per message.
+    Scalar posts still join columnar runs inside the buffer, so this
+    tracks the per-call overhead the batched API amortises away.
+    """
     from ..core import YgmWorld
     from ..machine import bench_machine
 
@@ -311,6 +373,7 @@ BENCHMARKS: List[BenchSpec] = [
     BenchSpec("kernel_events", "events/sec", True, bench_kernel_events),
     BenchSpec("kernel_processes", "events/sec", True, bench_kernel_processes),
     BenchSpec("mailbox_messages", "messages/sec", True, bench_mailbox),
+    BenchSpec("mailbox_scalar_send", "messages/sec", True, bench_mailbox_scalar),
     BenchSpec("packer_small", "MB/s", True, bench_packer_small),
     BenchSpec("packer_records", "MB/s", True, bench_packer_records),
     BenchSpec("fig6_degree_small", "seconds", False, lambda s: _bench_fig6(2 if s else 4, s)),
@@ -476,3 +539,105 @@ def run_perf(
     print(table.render())
     print(f"# wrote {out_path}")
     return 0
+
+
+# --------------------------------------------------------------- perf gate
+#: The columnar mailbox bench must beat the scalar-send bench by at
+#: least this factor.  The measured ratio is far higher (see
+#: BENCH_perf.json); the floor only has to catch the columnar path
+#: silently falling off (e.g. a refactor reverting to per-message
+#: objects), while staying robust to CI timing noise.
+GATE_MIN_COLUMNAR_RATIO = 1.3
+
+#: Minimum fraction of the committed baseline median the fresh
+#: ``mailbox_messages`` run must reach when host class and mode match
+#: (the ISSUE's ">20% below baseline fails" rule).
+GATE_BASELINE_FRACTION = 0.8
+
+#: Host-fingerprint keys that define a comparable "host class": medians
+#: from different CPUs are not comparable and the gate skips them.
+_HOST_CLASS_KEYS = ("machine", "cpu_model", "cpu_count", "implementation")
+
+
+def host_class(fingerprint: Dict[str, Any]) -> Tuple:
+    return tuple(fingerprint.get(k) for k in _HOST_CLASS_KEYS)
+
+
+def run_gate(
+    report_path: str,
+    baseline_path: Optional[str] = None,
+    min_ratio: float = GATE_MIN_COLUMNAR_RATIO,
+    fraction: float = GATE_BASELINE_FRACTION,
+) -> int:
+    """Regression-gate a perf report: ``python -m repro.bench --perf-gate``.
+
+    Two checks, printed and summed into the exit code:
+
+    1. **Columnar ratio floor** (always): ``mailbox_messages`` must be at
+       least ``min_ratio`` x ``mailbox_scalar_send`` from the *same*
+       report -- self-normalising, so it holds on any host and in smoke
+       mode.
+    2. **Baseline floor** (when comparable): if ``baseline_path`` is
+       given and its host class *and* mode match the report's, the fresh
+       ``mailbox_messages`` median must be >= ``fraction`` of the
+       baseline median.  Mismatched hosts or modes are reported and
+       skipped -- absolute medians only compare within a host class.
+    """
+    report = load_baseline(report_path)
+    if report is None:
+        print(f"perf gate: FAIL -- report {report_path} not found")
+        return 1
+    benchmarks = report.get("benchmarks", {})
+    failures: List[str] = []
+    checks: List[str] = []
+
+    columnar = benchmarks.get("mailbox_messages", {}).get("median")
+    scalar = benchmarks.get("mailbox_scalar_send", {}).get("median")
+    if not columnar or not scalar:
+        failures.append(
+            "ratio check needs both mailbox_messages and mailbox_scalar_send "
+            f"in {report_path} (run without --perf-only, or include both)"
+        )
+    else:
+        ratio = columnar / scalar
+        line = (
+            f"columnar/scalar ratio {ratio:.2f}x (floor {min_ratio:.2f}x): "
+            f"{columnar:,.0f} vs {scalar:,.0f} messages/sec"
+        )
+        if ratio < min_ratio:
+            failures.append(line)
+        else:
+            checks.append(line)
+
+    baseline = load_baseline(baseline_path) if baseline_path else None
+    if baseline is not None:
+        same_host = host_class(baseline.get("host", {})) == host_class(
+            report.get("host", {})
+        )
+        same_mode = baseline.get("mode") == report.get("mode")
+        base_med = baseline.get("benchmarks", {}).get(
+            "mailbox_messages", {}
+        ).get("median")
+        if not same_host or not same_mode:
+            why = "host class" if not same_host else "mode"
+            checks.append(
+                f"baseline check skipped: {why} differs from {baseline_path} "
+                "(absolute medians are not comparable)"
+            )
+        elif columnar and base_med:
+            frac = columnar / base_med
+            line = (
+                f"mailbox_messages at {frac:.2f}x of baseline median "
+                f"{base_med:,.0f} (floor {fraction:.2f}x)"
+            )
+            if frac < fraction:
+                failures.append(line)
+            else:
+                checks.append(line)
+
+    for line in checks:
+        print(f"perf gate: ok   -- {line}")
+    for line in failures:
+        print(f"perf gate: FAIL -- {line}")
+    print(f"perf gate: {'FAIL' if failures else 'PASS'} ({report_path})")
+    return 1 if failures else 0

@@ -13,9 +13,19 @@ class MailboxConfig:
     many messages are queued across all coalescing buffers, the rank
     enters its communication context (flush + receive).  The paper's
     experiments use 2^18; the scaled benchmarks default to 2^14.
+
+    ``columnar`` selects the struct-of-arrays hot path: runs of scalar
+    point-to-point messages ride coalescing buffers, packets and routing
+    intermediaries as NumPy columns (one :class:`~repro.core.coalescing.
+    P2PColumns` entry per run) and are materialised as per-message Python
+    values only at handler boundaries.  ``False`` keeps the historical
+    one-object-per-message path; the two are bit-identical in results and
+    simulated time (pinned by ``tests/core/test_columnar.py``), so the
+    flag exists for differential testing, not tuning.
     """
 
     capacity: int = 2**14
+    columnar: bool = True
 
     def __post_init__(self):
         if self.capacity < 1:

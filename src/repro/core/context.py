@@ -120,11 +120,19 @@ class YgmContext:
         recv_batch: Optional[Callable[[np.ndarray], None]] = None,
         recv_bcast: Optional[Callable[[Any], None]] = None,
         capacity: Optional[int] = None,
+        columnar: Optional[bool] = None,
     ) -> Mailbox:
-        """Create this rank's next mailbox (collective: same order everywhere)."""
+        """Create this rank's next mailbox (collective: same order everywhere).
+
+        ``columnar`` overrides the struct-of-arrays hot-path toggle (see
+        :class:`~repro.core.config.MailboxConfig`); the differential
+        tests pin the two paths bit-identical through it.
+        """
         config = self.default_config
         if capacity is not None:
             config = config.with_overrides(capacity=capacity)
+        if columnar is not None:
+            config = config.with_overrides(columnar=columnar)
         mb = Mailbox(
             self,
             recv=recv,
@@ -189,6 +197,7 @@ class YgmWorld:
         cores_per_node: int = 8,
         tracer=None,
         tiebreaker=None,
+        columnar: bool = MailboxConfig().columnar,
     ):
         if isinstance(machine, int):
             machine = bench_machine(nodes=machine, cores_per_node=cores_per_node)
@@ -200,7 +209,9 @@ class YgmWorld:
         elif (scheme.nodes, scheme.cores) != (machine.nodes, machine.cores_per_node):
             raise ValueError("routing scheme shape does not match the machine")
         self.scheme = scheme
-        self.default_config = MailboxConfig(capacity=mailbox_capacity)
+        self.default_config = MailboxConfig(
+            capacity=mailbox_capacity, columnar=columnar
+        )
 
     @property
     def nranks(self) -> int:

@@ -26,9 +26,16 @@ from typing import Any, Callable, Dict, Generator, List, Optional
 import numpy as np
 
 from ..mpi.envelope import HEADER_BYTES, Packet
-from ..mpi.sizes import payload_nbytes
+from ..mpi.sizes import payload_nbytes, payload_nbytes_many
 from ..serde import RecordSpec
-from .coalescing import BatchEntry, BcastEntry, CoalescingBuffer, ListPool, P2PEntry
+from .coalescing import (
+    BatchEntry,
+    BcastEntry,
+    CoalescingBuffer,
+    ListPool,
+    P2PColumns,
+    P2PEntry,
+)
 from .config import MailboxConfig
 from .stats import MailboxStats
 from .termination import TerminationDetector
@@ -79,8 +86,16 @@ class Mailbox:
         self._prof = tracer.lineage if tracer is not None else None
         #: Recycles handled packets' entry lists into fresh buffers.
         self._pool = ListPool()
+        #: Columnar (struct-of-arrays) scalar-message hot path toggle.
+        self._columnar = self.config.columnar
         self._queued = 0  # messages across all buffers
         self._pending_handle_cost = 0.0
+        #: Forwards deferred while a mixed columnar run delivers (see
+        #: :meth:`_handle_packet`): the run's columns plus the indices
+        #: of not-yet-binned forwards.  Any post from inside a receive
+        #: callback flushes them first, preserving buffer order.
+        self._deferred_cols = None
+        self._deferred_idx: List[int] = []
         self._lane = f"rank {ctx.world_rank}"  # trace lane label
         #: Completed quiescence epochs (wait_empty/test_empty returning done).
         self._epoch = 0
@@ -98,6 +113,8 @@ class Mailbox:
         Safe to call from receive callbacks.  Messages to self are
         delivered immediately (they never touch the transport).
         """
+        if self._deferred_idx:
+            self._flush_deferred()
         if not 0 <= dest < self.comm.size:
             raise ValueError(f"destination {dest} out of range [0, {self.comm.size})")
         self.stats.app_messages_sent += 1
@@ -113,13 +130,17 @@ class Mailbox:
             return
         size = payload_nbytes(payload, nbytes)
         hop = self.scheme.next_hop(self.rank, dest)
+        lid = None
         if prof is not None:
             t = self.ctx.sim.now
             lid = prof.new_message(self.rank, dest, t)
             prof.enqueue(lid, self.rank, hop, t)
-            self._buffer_for(hop).add(P2PEntry(dest, payload, size, lid))
+        if self._columnar:
+            # Struct-of-arrays hot path: the message joins the buffer's
+            # open columnar run; no per-message entry object exists.
+            self._buffer_for(hop).add_p2p(dest, payload, size, lid)
         else:
-            self._buffer_for(hop).add(P2PEntry(dest, payload, size))
+            self._buffer_for(hop).add(P2PEntry(dest, payload, size, lid))
         self._queued += 1
 
     def send(self, dest: int, payload: Any, nbytes: Optional[int] = None) -> Generator:
@@ -127,8 +148,73 @@ class Mailbox:
         self.post(dest, payload, nbytes=nbytes)
         yield from self._maybe_communicate()
 
+    def post_many(
+        self,
+        dests,
+        payloads,
+        nbytes=None,
+    ) -> None:
+        """Queue many scalar messages at once (a vectorized ``post``).
+
+        ``dests[i]`` is the destination rank of ``payloads[i]`` (a
+        sequence of arbitrary payload values); ``nbytes`` optionally
+        supplies the wire sizes (one int for all, or a parallel array).
+        Unlike ``post_batch`` this does not require fixed-width records:
+        the payloads ride the pipeline as an object column and only
+        materialise per message at the receive callback.  Self-addressed
+        messages are delivered immediately, in index order, before the
+        remainder is binned by next hop.
+        """
+        if self._deferred_idx:
+            self._flush_deferred()
+        dests = np.asarray(dests, dtype=np.int64)
+        n = len(dests)
+        if n != len(payloads):
+            raise ValueError(
+                f"dests ({n}) and payloads ({len(payloads)}) lengths differ"
+            )
+        if n == 0:
+            return
+        if dests.min() < 0 or dests.max() >= self.comm.size:
+            raise ValueError(f"destination rank out of range [0, {self.comm.size})")
+        if not self._columnar:
+            # Reference (one-object-per-message) path: semantically a
+            # loop of ``post``; sizes resolve identically either way.
+            sizes = payload_nbytes_many(payloads, nbytes)
+            for i in range(n):
+                self.post(int(dests[i]), payloads[i], nbytes=int(sizes[i]))
+            return
+        self.stats.app_messages_sent += n
+        sizes = payload_nbytes_many(payloads, nbytes)
+        # ``fromiter`` with object dtype stores the caller's exact
+        # objects (no str/array conversion) in one C loop.
+        cols = np.fromiter(payloads, dtype=object, count=n)
+        prof = self._prof
+        lins = None
+        if prof is not None:
+            lins = prof.new_batch(self.rank, dests, self.ctx.sim.now)
+        here = dests == self.rank
+        if here.any():
+            self._deliver_p2p_run(cols[here], None if lins is None else lins[here])
+            keep = ~here
+            dests = dests[keep]
+            cols = cols[keep]
+            sizes = sizes[keep]
+            if lins is not None:
+                lins = lins[keep]
+            if len(dests) == 0:
+                return
+        self._bin_columns(dests, cols, sizes, lins, at_injection=True)
+
+    def send_many(self, dests, payloads, nbytes=None) -> Generator:
+        """Vectorized scalar send; may enter the communication context."""
+        self.post_many(dests, payloads, nbytes=nbytes)
+        yield from self._maybe_communicate()
+
     def post_bcast(self, payload: Any, nbytes: Optional[int] = None) -> None:
         """Queue a broadcast to every other rank (callback-safe)."""
+        if self._deferred_idx:
+            self._flush_deferred()
         self.stats.bcasts_initiated += 1
         size = payload_nbytes(payload, nbytes)
         prof = self._prof
@@ -157,6 +243,8 @@ class Mailbox:
         per-message Python overhead is eliminated and intermediaries
         re-bin with NumPy.
         """
+        if self._deferred_idx:
+            self._flush_deferred()
         if spec is not None:
             spec.validate(batch)
         dests = np.asarray(dests, dtype=np.int64)
@@ -212,23 +300,56 @@ class Mailbox:
                 return
         if not at_injection:
             self.stats.entries_forwarded += len(dests)
-        hops = self.scheme.next_hop_vec(self.rank, dests)
-        order = np.argsort(hops, kind="stable")
-        hops_sorted = hops[order]
-        dests_sorted = dests[order]
-        batch_sorted = batch[order]
-        lins_sorted = None if lins is None else lins[order]
-        boundaries = np.flatnonzero(np.diff(hops_sorted)) + 1
-        starts = np.concatenate(([0], boundaries))
-        ends = np.concatenate((boundaries, [len(hops_sorted)]))
-        for s, e in zip(starts, ends):
-            hop = int(hops_sorted[s])
-            seg_lins = None if lins_sorted is None else lins_sorted[s:e]
+        hops, order, starts, ends = self.scheme.bin_by_hop(self.rank, dests)
+        if order is not None:
+            dests = dests[order]
+            batch = batch[order]
+            if lins is not None:
+                lins = lins[order]
+        for s, e in zip(starts.tolist(), ends.tolist()):
+            hop = int(hops[s])
+            seg_lins = None if lins is None else lins[s:e]
             if seg_lins is not None:
                 self._prof.enqueue_batch(seg_lins, self.rank, hop, self.ctx.sim.now)
-            entry = BatchEntry(dests_sorted[s:e], batch_sorted[s:e], seg_lins)
+            entry = BatchEntry(dests[s:e], batch[s:e], seg_lins)
             self._buffer_for(hop).add(entry)
             self._queued += entry.count
+
+    def _bin_columns(
+        self,
+        dests: np.ndarray,
+        payloads: np.ndarray,
+        sizes: np.ndarray,
+        lins: Optional[np.ndarray],
+        at_injection: bool,
+    ) -> None:
+        """Bin a columnar scalar-message run by next hop.
+
+        The struct-of-arrays twin of :meth:`_bin_batch`: the whole run is
+        regrouped with one vectorized routing call plus one stable sort
+        (skipped when all destinations share a hop); no per-message
+        Python objects are created.  ``at_injection`` has the same
+        meaning as in :meth:`_bin_batch`.
+        """
+        if not at_injection:
+            self.stats.entries_forwarded += len(dests)
+        hops, order, starts, ends = self.scheme.bin_by_hop(self.rank, dests)
+        if order is not None:
+            dests = dests[order]
+            payloads = payloads[order]
+            sizes = sizes[order]
+            if lins is not None:
+                lins = lins[order]
+        prof = self._prof
+        for s, e in zip(starts.tolist(), ends.tolist()):
+            hop = int(hops[s])
+            seg_lins = None if lins is None else lins[s:e]
+            if seg_lins is not None:
+                prof.enqueue_batch(seg_lins, self.rank, hop, self.ctx.sim.now)
+            self._buffer_for(hop).add_columns(
+                P2PColumns(dests[s:e], payloads[s:e], sizes[s:e], seg_lins)
+            )
+            self._queued += e - s
 
     def _maybe_communicate(self) -> Generator:
         if self._queued >= self.config.capacity:
@@ -361,6 +482,22 @@ class Mailbox:
                         prof.enqueue(entry.lin, rank, hop, self.ctx.sim.now)
                     self._buffer_for(hop).add(entry)
                     self._queued += 1
+            elif kind == "p2p_cols":
+                stats.entries_received += entry.count
+                dests = entry.dests
+                here = dests == rank
+                if here.all():
+                    # Terminal hop for the whole run (the common case on
+                    # every scheme's last hop): deliver in column order.
+                    self._deliver_p2p_run(entry.payloads, entry.lins)
+                elif not here.any():
+                    # Pure intermediary: re-bin the whole run vectorized.
+                    self._bin_columns(
+                        dests, entry.payloads, entry.nbytes, entry.lins,
+                        at_injection=False,
+                    )
+                else:
+                    self._handle_mixed_run(entry, here)
             elif kind == "batch":
                 # Forwarding is accounted inside _bin_batch (counting the
                 # re-binned records directly); inferring it from delivery
@@ -402,6 +539,79 @@ class Mailbox:
                 )
         yield from self._charge_pending_handles()
 
+    def _handle_mixed_run(self, entry: P2PColumns, here: np.ndarray) -> None:
+        """Handle a columnar run mixing terminal deliveries and forwards.
+
+        Deliveries run per message (the handler boundary); forwards are
+        *deferred* -- only their column indices accumulate -- and re-bin
+        in one vectorized call afterwards.  The deferral is what keeps
+        the interleaving bit-identical to the per-entry path: a receive
+        callback may post follow-on messages whose buffer position
+        depends on the deliver-vs-forward order, so every ``post*``
+        entry point first flushes the forwards deferred *so far*
+        (:meth:`_flush_deferred`), landing them in the buffers before
+        the callback's own message exactly as a per-entry walk would.
+        When callbacks post nothing -- the common case -- the whole
+        forward set is binned once at the end.
+        """
+        recv = self.recv
+        if recv is None:
+            raise RuntimeError("mailbox has no scalar receive callback")
+        plist = entry.payloads.tolist()  # the objects themselves, unboxed once
+        lins = entry.lins
+        n_here = int(here.sum())
+        self.stats.app_messages_delivered += n_here
+        self._pending_handle_cost += (
+            n_here * self.ctx.machine.config.compute.per_message_handle
+        )
+        self._deferred_cols = entry
+        idx = self._deferred_idx
+        append = idx.append
+        prof = self._prof
+        if prof is None or lins is None:
+            for i, h in enumerate(here.tolist()):
+                if h:
+                    recv(plist[i])
+                else:
+                    append(i)
+        else:
+            # Callbacks are plain functions (no yields): simulated time
+            # cannot advance inside the loop.
+            now = self.ctx.sim.now
+            rank = self.rank
+            llist = lins.tolist()
+            prev = prof.cause
+            try:
+                for i, h in enumerate(here.tolist()):
+                    if h:
+                        lin = llist[i]
+                        prof.delivered(lin, rank, now)
+                        prof.cause = lin
+                        recv(plist[i])
+                    else:
+                        append(i)
+            finally:
+                prof.cause = prev
+        self._flush_deferred()
+        self._deferred_cols = None
+
+    def _flush_deferred(self) -> None:
+        """Re-bin the forwards deferred by :meth:`_handle_mixed_run`."""
+        idx = self._deferred_idx
+        if not idx:
+            return
+        entry = self._deferred_cols
+        take = np.asarray(idx, dtype=np.int64)
+        idx.clear()
+        lins = entry.lins
+        self._bin_columns(
+            entry.dests[take],
+            entry.payloads[take],
+            entry.nbytes[take],
+            None if lins is None else lins[take],
+            at_injection=False,
+        )
+
     def _deliver_p2p(self, payload: Any, lin=None) -> None:
         self.stats.app_messages_delivered += 1
         self._pending_handle_cost += self.ctx.machine.config.compute.per_message_handle
@@ -416,6 +626,47 @@ class Mailbox:
         prev, prof.cause = prof.cause, lin
         try:
             self.recv(payload)
+        finally:
+            prof.cause = prev
+
+    def _deliver_p2p_run(
+        self, payloads: np.ndarray, lins: Optional[np.ndarray] = None
+    ) -> None:
+        """Deliver a columnar run of scalar messages (handler boundary).
+
+        Stats and handler cost accrue in bulk; the receive callback (and
+        the per-message causal bookkeeping, identical to
+        :meth:`_deliver_p2p`) still runs once per message -- this is
+        where the columns materialise back into Python values.
+        """
+        n = len(payloads)
+        if n == 0:
+            return
+        self.stats.app_messages_delivered += n
+        self._pending_handle_cost += (
+            n * self.ctx.machine.config.compute.per_message_handle
+        )
+        recv = self.recv
+        if recv is None:
+            raise RuntimeError("mailbox has no scalar receive callback")
+        prof = self._prof
+        # ``tolist`` hands back the column's objects unchanged; looping a
+        # plain list beats per-element ndarray indexing.
+        plist = payloads.tolist() if isinstance(payloads, np.ndarray) else payloads
+        if prof is None or lins is None:
+            for payload in plist:
+                recv(payload)
+            return
+        # Callbacks are plain functions (no yields), so simulated time
+        # cannot advance inside the loop.
+        now = self.ctx.sim.now
+        rank = self.rank
+        prev = prof.cause
+        try:
+            for payload, lin in zip(plist, lins.tolist()):
+                prof.delivered(lin, rank, now)
+                prof.cause = lin
+                recv(payload)
         finally:
             prof.cause = prev
 

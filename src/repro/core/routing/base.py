@@ -67,6 +67,32 @@ class RoutingScheme(ABC):
             count=len(dests),
         )
 
+    def bin_by_hop(self, cur: int, dests: np.ndarray):
+        """Group a destination column by next hop (batch re-binning kernel).
+
+        Returns ``(hops, order, starts, ends)``: ``order`` is the stable
+        permutation that groups ``dests`` by hop (``None`` when every
+        destination already shares one hop -- the permutation would be the
+        identity, so callers skip the gather), and ``hops[starts[k]]`` is
+        the hop of segment ``k`` = ``[starts[k], ends[k])`` *after*
+        applying ``order``.  Stability keeps per-hop message order equal
+        to input order, which is what makes the columnar and the
+        one-object-per-message paths bit-identical.
+        """
+        hops = self.next_hop_vec(cur, dests)
+        n = len(hops)
+        one = np.ones(1, dtype=np.int64)
+        if n == 0:
+            return hops, None, np.empty(0, np.int64), np.empty(0, np.int64)
+        if hops[0] == hops[n - 1] and (hops == hops[0]).all():
+            return hops, None, 0 * one, n * one
+        order = np.argsort(hops, kind="stable")
+        hops = hops[order]
+        boundaries = np.flatnonzero(hops[1:] != hops[:-1]) + 1
+        starts = np.concatenate((0 * one, boundaries))
+        ends = np.concatenate((boundaries, n * one))
+        return hops, order, starts, ends
+
     @abstractmethod
     def max_hops(self) -> int:
         """Upper bound on transmissions per point-to-point message."""

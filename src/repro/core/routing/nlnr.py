@@ -50,11 +50,16 @@ class NLNR(RoutingScheme):
         cores = self.cores
         cur_node, cur_core = divmod(cur, cores)
         dnode = dests // cores
-        same_node = dnode == cur_node
-        is_intermediary = (dnode % cores) == cur_core
-        remote_hop = dnode * cores + cur_node % cores
-        local_hop = cur_node * cores + dnode % cores
-        return np.where(same_node, dests, np.where(is_intermediary, remote_hop, local_hop))
+        layer = dnode % cores  # destination node's layer offset
+        # Default: first local hop to this node's intermediary for the
+        # destination's layer.  Overwrite in precedence order (in-place
+        # form of the nested np.where() for the columnar re-bin path):
+        # intermediary positions take the remote hop, same-node positions
+        # the destination itself.
+        hops = layer + cur_node * cores
+        np.copyto(hops, dnode * cores + cur_node % cores, where=layer == cur_core)
+        np.copyto(hops, dests, where=dnode == cur_node)
+        return hops
 
     def max_hops(self) -> int:
         return 3

@@ -33,8 +33,12 @@ class NodeRemote(RoutingScheme):
         dests = np.asarray(dests, dtype=np.int64)
         cores = self.cores
         dnode = dests // cores
-        remote_hop = dnode * cores + cur % cores
-        return np.where(dnode != cur // cores, remote_hop, dests)
+        # Remote hop by default; same-node positions fall through to the
+        # destination itself (final local hop).  In-place form of the
+        # np.where() expression for the columnar re-binning path.
+        hops = dnode * cores + cur % cores
+        np.copyto(hops, dests, where=dnode == cur // cores)
+        return hops
 
     def max_hops(self) -> int:
         return 2

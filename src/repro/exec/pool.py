@@ -111,7 +111,14 @@ class Pool:
                 results[i] = value
                 rec = self.records[i]
                 rec.cache_hit = True
-                rec.finished = time.perf_counter() - t0
+                # A hit never queues or runs: anchor all three stamps at
+                # the lookup time so downstream consumers (the trace
+                # mirror's ``finished - started`` duration, the progress
+                # callback's running count) see a zero-length execution
+                # instead of one stretching back to the run start.
+                rec.queued = rec.started = rec.finished = (
+                    time.perf_counter() - t0
+                )
                 self._finish_one(rec)
             else:
                 pending.append(i)
@@ -312,7 +319,13 @@ class Pool:
             except (BrokenProcessPool, _JobTimeout) as exc:
                 self._kill(executor)
                 timed_out = set(exc.indices) if isinstance(exc, _JobTimeout) else set()
-                for idx in rebuild:
+                # A BrokenProcessPool raised by submit()/the executor
+                # itself (rather than our re-raise) leaves in-flight
+                # futures out of ``rebuild``; fold them in (deduplicated,
+                # order-preserving) so no job is silently dropped.
+                rebuild.extend(fut_idx.values())
+                fut_idx.clear()
+                for idx in dict.fromkeys(rebuild):
                     job = jobs[idx]
                     # Charge the retry budget of jobs that were actually
                     # running (their worker died / they timed out); jobs
@@ -337,6 +350,12 @@ class Pool:
                     else:
                         todo.append(idx)
                         started_at.pop(idx, None)
+                        # The record must describe the attempt that will
+                        # actually produce the result: clear the dead
+                        # attempt's start stamp (re-set when a worker
+                        # picks the retry up) so the job is not reported
+                        # as running while it waits for resubmission.
+                        self.records[idx].started = 0.0
                 todo.sort()
             except BaseException:
                 # KeyboardInterrupt (or anything unexpected): kill all

@@ -122,22 +122,50 @@ class NetworkModel:
         return self.local_overhead + nbytes / self.memory_rate
 
     # ---------------------------------------------------------------- cached
+    def _cost_params(self) -> Tuple:
+        """The parameters :meth:`packet_costs` results depend on."""
+        return (
+            self.latency,
+            self.nic_gap,
+            self.eager_rate,
+            self.rendezvous_rate,
+            self.eager_threshold,
+            self.handshake_latency,
+            self.local_overhead,
+            self.memory_rate,
+        )
+
+    #: Sentinel key holding the parameter tuple the memo was built under.
+    _PARAMS_KEY = "__params__"
+
     def packet_costs(self, nbytes: int) -> Tuple[float, float, float]:
         """Memoised ``(nic_time, remote_delay, local_time)`` for one size.
 
         The transport layer calls this once per packet; identical float
         results to calling the three methods directly (same expressions,
         computed once per distinct size).
+
+        The memo is keyed on the parameters it was computed from: the
+        dataclass is frozen, but ``object.__setattr__`` (ablation
+        helpers, tests) can still mutate a model after first use, and a
+        stale memo would silently keep charging the old costs.  A
+        parameter change is detected on the next call and clears the
+        cache.
         """
-        costs = self._cost_cache.get(nbytes)
+        cache = self._cost_cache
+        params = self._cost_params()
+        if cache.get(self._PARAMS_KEY) != params:
+            cache.clear()
+            cache[self._PARAMS_KEY] = params
+        costs = cache.get(nbytes)
         if costs is None:
             costs = (
                 self.nic_time(nbytes),
                 self.remote_delay(nbytes),
                 self.local_time(nbytes),
             )
-            if len(self._cost_cache) < self._COST_CACHE_MAX:
-                self._cost_cache[nbytes] = costs
+            if len(cache) < self._COST_CACHE_MAX:
+                cache[nbytes] = costs
         return costs
 
     # ---------------------------------------------------------------- misc

@@ -12,7 +12,8 @@ from typing import Any, Optional
 
 import numpy as np
 
-from ..serde import packed_size
+from ..serde import packed_size, packed_size_many
+from ..serde.packer import int64_packed_sizes
 
 
 def payload_nbytes(payload: Any, nbytes: Optional[int] = None) -> int:
@@ -30,3 +31,40 @@ def payload_nbytes(payload: Any, nbytes: Optional[int] = None) -> int:
     if isinstance(payload, (bytes, bytearray, memoryview)):
         return len(payload)
     return packed_size(payload)
+
+
+def payload_nbytes_many(payloads, nbytes=None) -> np.ndarray:
+    """Vectorized :func:`payload_nbytes` for a payload column (int64).
+
+    ``nbytes`` may be ``None`` (measure every payload), one int (all
+    payloads share the size) or a parallel array of per-payload sizes.
+    Element-for-element equal to calling :func:`payload_nbytes` in a
+    loop; the all-``int`` payload case is measured in bulk through
+    :func:`repro.serde.packed_size_many`.
+    """
+    n = len(payloads)
+    if nbytes is not None:
+        sizes = np.asarray(nbytes, dtype=np.int64)
+        if sizes.ndim == 0:
+            if sizes < 0:
+                raise ValueError(f"negative payload size: {int(sizes)}")
+            return np.full(n, int(sizes), dtype=np.int64)
+        if sizes.shape != (n,):
+            raise ValueError(
+                f"nbytes shape {sizes.shape} does not match {n} payloads"
+            )
+        if n and sizes.min() < 0:
+            raise ValueError(f"negative payload size: {int(sizes.min())}")
+        return sizes
+    if n and set(map(type, payloads)) == {int}:
+        # The type scan runs in C (one frame, no generator); ``bool``
+        # and NumPy scalars fall through to the generic path.  Straight
+        # to the int64 kernel: ``packed_size_many`` would rescan the
+        # column for the same all-int precondition.
+        sizes = int64_packed_sizes(payloads, n)
+        if sizes is not None:
+            return sizes
+        return packed_size_many(payloads)  # beyond-int64 values
+    return np.fromiter(
+        (payload_nbytes(p) for p in payloads), dtype=np.int64, count=n
+    )

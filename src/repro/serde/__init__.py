@@ -12,6 +12,7 @@ from .packer import (
     pack_into,
     pack_many,
     packed_size,
+    packed_size_many,
     unpack,
     unpack_many,
 )
@@ -26,6 +27,7 @@ __all__ = [
     "pack_into",
     "pack_many",
     "packed_size",
+    "packed_size_many",
     "register",
     "registered",
     "unpack",

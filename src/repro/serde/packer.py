@@ -325,6 +325,51 @@ def packed_size(obj: Any) -> int:
     return len(scratch)
 
 
+def int64_packed_sizes(objs, n: int) -> "np.ndarray | None":
+    """Encoded sizes of ``n`` plain ``int`` objects, or ``None``.
+
+    The caller guarantees every element is a plain ``int`` (``type`` is
+    exactly ``int``, not bool or a NumPy scalar); returns ``None`` when a
+    value exceeds int64, in which case the per-element packer must run.
+    """
+    try:
+        v = np.fromiter(objs, dtype=np.int64, count=n)
+    except OverflowError:
+        return None  # some value exceeds int64; the loop handles big ints
+    # Zigzag with int64 wrap semantics: ``(v << 1) ^ (v >> 63)`` viewed
+    # as uint64 matches Python's arbitrary-precision ``v*2`` / ``-v*2-1``
+    # for the whole int64 range (including -2**63 -> 2**64 - 1).
+    zz = ((v << 1) ^ (v >> 63)).view(np.uint64)
+    # Tag byte + 1 payload byte, plus one byte per additional 7-bit
+    # group of the zigzag value (uvarint length).
+    sizes = np.full(n, 2, dtype=np.int64)
+    for k in range(1, 10):
+        sizes += zz >= np.uint64(1 << (7 * k))
+    return sizes
+
+
+def packed_size_many(objs) -> np.ndarray:
+    """Vectorized :func:`packed_size` over a sequence (int64 array).
+
+    Element-for-element equal to ``[packed_size(o) for o in objs]``.  The
+    all-``int`` case -- the dominant payload shape of scalar mailbox
+    traffic -- is computed with NumPy zigzag/varint arithmetic instead of
+    running the packer per element; anything else (mixed types, ints
+    beyond int64) falls back to the per-element packer.
+    """
+    n = len(objs)
+    # Exact-type scan (in C, via ``set(map(type, ...))``) on purpose:
+    # bool is an int subclass but packs as a tag byte, and NumPy scalars
+    # pack through their own handler -- both must take the fallback loop.
+    if n and set(map(type, objs)) == {int}:
+        sizes = int64_packed_sizes(objs, n)
+        if sizes is not None:
+            return sizes
+    return np.fromiter(
+        (packed_size(o) for o in objs), dtype=np.int64, count=n
+    )
+
+
 # ---------------------------------------------------------------- unpacking
 #
 # One handler per tag, indexed by the tag byte; handlers receive the

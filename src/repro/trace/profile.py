@@ -167,7 +167,11 @@ class LineageProfiler:
         pid = len(self.packets)
         members: List[Any] = []
         for e in entries:
-            if e.kind == "batch":
+            kind = e.kind
+            if kind == "batch" or kind == "p2p_cols":
+                # Columnar entries carry a parallel lineage-id column;
+                # snapshot the whole array (the lins arrays are never
+                # mutated in place, so no copy is needed).
                 if e.lins is not None:
                     members.append(e.lins)
             elif e.lin is not None:

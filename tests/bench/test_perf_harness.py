@@ -13,9 +13,11 @@ import pytest
 from repro.bench.perf import (
     BENCHMARKS,
     SCHEMA_VERSION,
+    host_class,
     host_fingerprint,
     load_baseline,
     median_iqr,
+    run_gate,
     run_perf,
     speedup,
 )
@@ -106,6 +108,90 @@ def test_baseline_schema_mismatch_rejected(tmp_path):
     assert load_baseline(str(tmp_path / "missing.json")) is None
 
 
+# ------------------------------------------------------------------ gate
+def _gate_report(
+    tmp_path,
+    name,
+    columnar=1000.0,
+    scalar=100.0,
+    mode="full",
+    host=None,
+):
+    doc = {
+        "schema_version": SCHEMA_VERSION,
+        "mode": mode,
+        "host": host if host is not None else host_fingerprint(),
+        "benchmarks": {
+            "mailbox_messages": {"median": columnar, "higher_is_better": True},
+            "mailbox_scalar_send": {"median": scalar, "higher_is_better": True},
+        },
+    }
+    path = tmp_path / name
+    path.write_text(json.dumps(doc))
+    return str(path)
+
+
+def test_gate_passes_on_healthy_ratio(tmp_path, capsys):
+    report = _gate_report(tmp_path, "r.json", columnar=500.0, scalar=100.0)
+    assert run_gate(report) == 0
+    out = capsys.readouterr().out
+    assert "PASS" in out and "5.00x" in out
+
+
+def test_gate_fails_when_columnar_loses_its_floor(tmp_path, capsys):
+    report = _gate_report(tmp_path, "r.json", columnar=110.0, scalar=100.0)
+    assert run_gate(report) == 1
+    assert "FAIL" in capsys.readouterr().out
+
+
+def test_gate_fails_on_missing_report_or_benchmarks(tmp_path, capsys):
+    assert run_gate(str(tmp_path / "nope.json")) == 1
+    path = tmp_path / "partial.json"
+    path.write_text(
+        json.dumps({"schema_version": SCHEMA_VERSION, "benchmarks": {}})
+    )
+    assert run_gate(str(path)) == 1
+    assert "mailbox_scalar_send" in capsys.readouterr().out
+
+
+def test_gate_enforces_baseline_floor_on_matching_host(tmp_path, capsys):
+    # Same host fingerprint and mode: >20% below the baseline median fails.
+    base = _gate_report(tmp_path, "base.json", columnar=1000.0)
+    ok = _gate_report(tmp_path, "ok.json", columnar=850.0)
+    bad = _gate_report(tmp_path, "bad.json", columnar=700.0)
+    assert run_gate(ok, baseline_path=base) == 0
+    assert run_gate(bad, baseline_path=base) == 1
+    assert "0.70x" in capsys.readouterr().out
+
+
+def test_gate_skips_baseline_across_hosts_and_modes(tmp_path, capsys):
+    other = dict(host_fingerprint(), cpu_model="Imaginary CPU 9000")
+    base_other = _gate_report(tmp_path, "b1.json", columnar=10_000.0, host=other)
+    base_smoke = _gate_report(tmp_path, "b2.json", columnar=10_000.0, mode="smoke")
+    report = _gate_report(tmp_path, "r.json", columnar=500.0, scalar=100.0)
+    # A 20x faster baseline from elsewhere must not fail this host.
+    assert run_gate(report, baseline_path=base_other) == 0
+    assert run_gate(report, baseline_path=base_smoke) == 0
+    out = capsys.readouterr().out
+    assert out.count("skipped") == 2
+
+
+def test_host_class_ignores_platform_patch_noise():
+    fp = host_fingerprint()
+    relabelled = dict(fp, platform="Linux-9.99-different-build")
+    assert host_class(fp) == host_class(relabelled)
+    assert host_class(fp) != host_class(dict(fp, cpu_count=1 + fp["cpu_count"]))
+
+
+def test_committed_baseline_passes_its_own_gate():
+    # The repo's BENCH_perf.json must satisfy the ratio floor -- CI runs
+    # the gate against it on every push.
+    import pathlib
+
+    repo = pathlib.Path(__file__).resolve().parent.parent.parent
+    assert run_gate(str(repo / "BENCH_perf.json")) == 0
+
+
 # --------------------------------------------------------------------- CLI
 def test_cli_perf_flag_runs_harness(tmp_path, capsys):
     from repro.bench.cli import main
@@ -125,3 +211,14 @@ def test_cli_perf_flag_runs_harness(tmp_path, capsys):
     doc = json.loads(out.read_text())
     assert list(doc["benchmarks"]) == ["kernel_events"]
     assert "kernel_events" in capsys.readouterr().out
+
+
+def test_cli_perf_gate_standalone(tmp_path, capsys):
+    from repro.bench.cli import main
+
+    report = _gate_report(tmp_path, "r.json", columnar=500.0, scalar=100.0)
+    assert main(["--perf-gate", report]) == 0
+    bad = _gate_report(tmp_path, "bad.json", columnar=100.0, scalar=100.0)
+    assert main(["--perf-gate", bad]) == 1
+    out = capsys.readouterr().out
+    assert "PASS" in out and "FAIL" in out

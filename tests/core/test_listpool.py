@@ -63,3 +63,62 @@ def test_pooled_round_trip_preserves_contents():
         seen.append(len(entries))
         pool.put(entries)  # what Mailbox._handle_packet does
     assert seen == [n + 1 for n in range(10)]
+
+
+# ------------------------------------------------------------- debug poison
+def test_debug_pool_poisons_recycled_lists():
+    """A stale reference that touches a recycled entry must fail loudly.
+
+    This is the aliasing hazard of the pooled flush path: a handler (or
+    a profiler hook) keeping the entries list beyond ``pool.put`` would
+    silently observe cleared -- or worse, refilled -- entries.  In debug
+    mode every recycled slot raises on attribute access instead.
+    """
+    import pytest
+
+    pool = ListPool(debug=True)
+    entries = pool.get()
+    entries.append(_entry(dest=1))
+    leaked = entries  # a reference that outlives the recycle
+    pool.put(entries)
+    assert len(leaked) == 1  # length survives; contents are poisoned
+    with pytest.raises(RuntimeError, match="use-after-recycle"):
+        leaked[0].kind  # the first touch a packet handler would make
+    with pytest.raises(RuntimeError, match="use-after-recycle"):
+        leaked[0].payload
+
+
+def test_debug_pool_detects_double_recycle():
+    import pytest
+
+    pool = ListPool(debug=True)
+    lst = [_entry()]
+    pool.put(lst)
+    with pytest.raises(RuntimeError, match="double recycle"):
+        pool.put(lst)
+
+
+def test_debug_pool_reissues_clean_lists():
+    """Poison never leaks back into circulation through get()."""
+    pool = ListPool(debug=True)
+    lst = [_entry(), _entry()]
+    pool.put(lst)
+    again = pool.get()
+    assert again is lst and again == []
+
+
+def test_debug_pool_env_toggle(monkeypatch):
+    monkeypatch.setenv("REPRO_DEBUG_POOL", "1")
+    assert ListPool().debug
+    monkeypatch.delenv("REPRO_DEBUG_POOL")
+    assert not ListPool().debug
+
+
+def test_default_pool_still_clears_on_return():
+    # Production mode is unchanged: cleared lists, silent aliasing kept
+    # impossible by the mailbox's discipline (audited in PR 6), checked
+    # cheaply here.
+    pool = ListPool()
+    lst = [_entry()]
+    pool.put(lst)
+    assert lst == [] and pool.get() is lst

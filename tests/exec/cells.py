@@ -34,5 +34,16 @@ def crasher():
     os._exit(13)
 
 
+def crash_once(sentinel, a, b):
+    # Crashes the worker on the first attempt, succeeds on the retry.
+    # Worker processes share no state, so the first-attempt marker must
+    # live on disk (``sentinel`` is a path inside the test's tmp dir).
+    if not os.path.exists(sentinel):
+        with open(sentinel, "w") as f:
+            f.write("attempt")
+        os._exit(13)
+    return a + b
+
+
 def unserializable():
     return object()

@@ -149,6 +149,66 @@ def test_worker_crash_is_contained_and_reported():
     assert ok.error == ""
 
 
+def test_crash_retry_stats_reflect_the_successful_attempt(tmp_path):
+    """A retried crash must not double-count in the job's record.
+
+    The record describes the attempt that produced the result: one
+    charged retry, ``queued <= started <= finished`` from the second
+    attempt, a wall time far below the whole run (the first attempt's
+    lifetime is not folded in), and exactly one trace mirror carrying
+    the final stats.
+    """
+    from repro.trace import Tracer
+
+    tracer = Tracer(categories=("exec",))
+    jobs = [
+        Job(
+            fn=f"{CELLS}:crash_once",
+            kwargs={"sentinel": str(tmp_path / "marker"), "a": 20, "b": 22},
+            label="flaky",
+            retries=1,
+        ),
+        Job(fn=f"{CELLS}:adder", kwargs={"a": 1, "b": 1}, label="ok"),
+    ]
+    pool = Pool(jobs=2, cache=None, tracer=tracer)
+    assert pool.run(jobs) == [42, 2]
+
+    rec = next(r for r in pool.records if r.label == "flaky")
+    assert rec.retries == 1  # the crash charged exactly one retry
+    assert rec.error == "" and not rec.cache_hit
+    assert 0.0 <= rec.queued <= rec.started <= rec.finished
+    assert rec.wall_ms >= 0.0
+    # The record is mirrored to the tracer exactly once, with the final
+    # (retried) stats -- not once per attempt.
+    mirrored = [e for e in tracer.events if e.name == "flaky"]
+    assert len(mirrored) == 1
+    assert mirrored[0].args["retries"] == 1
+    assert mirrored[0].args["error"] is None
+
+
+def test_cache_hit_records_do_not_stretch_back_to_run_start(tmp_path):
+    """A cache hit's trace span must have (near-)zero duration.
+
+    Before the fix, hits left ``queued``/``started`` at 0.0, so the
+    mirrored span covered the whole interval from run start to lookup.
+    """
+    from repro.trace import Tracer
+
+    cache = ResultCache(str(tmp_path / "c"))
+    pool = Pool(jobs=1, cache=cache)
+    pool.run(_adders(3))  # cold: populate the cache
+
+    tracer = Tracer(categories=("exec",))
+    warm = Pool(jobs=1, cache=cache, tracer=tracer)
+    warm.run(_adders(3))
+    assert all(r.cache_hit for r in warm.records)
+    for rec in warm.records:
+        assert rec.queued == rec.started == rec.finished > 0.0
+    for ev in tracer.events:
+        assert ev.args["cache_hit"] is True
+        assert ev.dur == 0.0
+
+
 # ------------------------------------------------------------- observability
 def test_records_and_progress_callback(tmp_path):
     calls = []

@@ -93,6 +93,10 @@ def test_packet_costs_cache_is_per_instance(net):
 
 def test_packet_costs_cache_bound():
     net = NetworkModel()
+    # Simulate a fully warmed memo (the sentinel entry marks the
+    # parameters it was built under; without it the next call would
+    # treat the stuffed cache as stale and clear it).
+    net._cost_cache[net._PARAMS_KEY] = net._cost_params()
     net._cost_cache.update({i: (0.0, 0.0, 0.0) for i in range(net._COST_CACHE_MAX)})
     costs = net.packet_costs(net._COST_CACHE_MAX + 7)
     # Over the bound: still correct, just not retained.
@@ -108,3 +112,39 @@ def test_model_equality_ignores_cache(net):
     other = NetworkModel()
     other.packet_costs(128)
     assert net == other
+
+
+def test_packet_costs_memo_tracks_parameter_mutation(net):
+    """The per-size memo must not serve stale costs after a mutation.
+
+    The dataclass is frozen, so ordinary assignment raises; but ablation
+    helpers and tests can still mutate through ``object.__setattr__``,
+    and the memo used to keep charging the old parameters forever.
+    """
+    nbytes = 4 * KiB
+    before = net.packet_costs(nbytes)
+    assert before == (
+        net.nic_time(nbytes), net.remote_delay(nbytes), net.local_time(nbytes)
+    )
+
+    with pytest.raises(Exception):
+        net.latency = net.latency * 2  # frozen: ordinary mutation refused
+
+    object.__setattr__(net, "latency", net.latency * 10)
+    object.__setattr__(net, "nic_gap", net.nic_gap * 3)
+    after = net.packet_costs(nbytes)
+    assert after != before
+    assert after == (
+        net.nic_time(nbytes), net.remote_delay(nbytes), net.local_time(nbytes)
+    )
+    # And the memo is warm again for the *new* parameters.
+    assert net.packet_costs(nbytes) == after
+
+
+def test_packet_costs_with_overrides_copy_is_independent(net):
+    """replace()-based copies start fresh and never share the memo."""
+    nbytes = 64
+    base = net.packet_costs(nbytes)
+    fast = net.with_overrides(nic_gap=net.nic_gap / 2)
+    assert fast.packet_costs(nbytes) != base
+    assert net.packet_costs(nbytes) == base

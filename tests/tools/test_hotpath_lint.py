@@ -1,0 +1,82 @@
+"""The hot-path lint guards the columnar refactor against regressions."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent.parent
+sys.path.insert(0, str(REPO / "tools"))
+
+import hotpath_lint  # noqa: E402
+
+
+def test_current_tree_is_clean():
+    assert hotpath_lint.lint(REPO) == []
+
+
+def test_cli_exits_zero_on_clean_tree():
+    proc = subprocess.run(
+        [sys.executable, str(REPO / "tools" / "hotpath_lint.py")],
+        capture_output=True,
+        text=True,
+    )
+    assert proc.returncode == 0
+    assert "OK" in proc.stdout
+
+
+def _write_tree(tmp_path, mailbox_src):
+    root = tmp_path / "repo"
+    pkg = root / "src" / "repro" / "core"
+    pkg.mkdir(parents=True)
+    (pkg / "mailbox.py").write_text(mailbox_src)
+    return root
+
+
+def test_flags_entry_construction_outside_allowlist(tmp_path):
+    root = _write_tree(
+        tmp_path,
+        "class Mailbox:\n"
+        "    def post(self, dest):\n"
+        "        e = P2PEntry(dest, None, 0)\n"  # allowed boundary
+        "    def _bin_columns(self, dests):\n"
+        "        return [P2PEntry(d, None, 0) for d in dests]\n"  # violation
+        "    def _handle_packet(self, pkt):\n"
+        "        b = BcastEntry(0, None, 0)\n"  # allowed boundary
+        "        def helper():\n"
+        "            return BcastEntry(1, None, 0)\n",  # nested scope: violation
+    )
+    violations = hotpath_lint.lint(root)
+    sites = [(qual, name) for _f, _line, qual, name in violations]
+    assert ("Mailbox._bin_columns", "P2PEntry") in sites
+    assert ("Mailbox._handle_packet.helper", "BcastEntry") in sites
+    assert len(violations) == 2
+
+
+def test_attribute_qualified_construction_is_caught(tmp_path):
+    root = _write_tree(
+        tmp_path,
+        "from repro.core import coalescing\n"
+        "def flush():\n"
+        "    return coalescing.P2PEntry(0, None, 0)\n",
+    )
+    ((_f, _line, qual, name),) = hotpath_lint.lint(root)
+    assert (qual, name) == ("flush", "P2PEntry")
+
+
+def test_cli_reports_violations_and_exits_nonzero(tmp_path):
+    root = _write_tree(
+        tmp_path,
+        "def rebin():\n    return P2PEntry(0, None, 0)\n",
+    )
+    proc = subprocess.run(
+        [
+            sys.executable,
+            str(REPO / "tools" / "hotpath_lint.py"),
+            "--root",
+            str(root),
+        ],
+        capture_output=True,
+        text=True,
+    )
+    assert proc.returncode == 1
+    assert "P2PEntry() constructed in rebin" in proc.stderr

@@ -1,0 +1,120 @@
+#!/usr/bin/env python
+"""Hot-path lint: no per-message entry objects in the columnar fast path.
+
+PR 6 moved the injection -> coalescing -> packet -> delivery pipeline to
+struct-of-arrays columns (``P2PColumns``); per-message ``P2PEntry`` /
+``BcastEntry`` objects are only allowed at *handler boundaries* -- the
+object-path fallback in ``Mailbox.post``, broadcast injection in
+``Mailbox.post_bcast``, and broadcast re-forwarding in
+``Mailbox._handle_packet``.  Anywhere else in the mailbox or coalescing
+layers, constructing one silently reintroduces the per-message
+allocation cost the columnar refactor removed -- results stay correct,
+so only this lint catches the regression.
+
+Usage::
+
+    python tools/hotpath_lint.py [--root PATH]
+
+Exits 0 when clean, 1 with one line per violation otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import sys
+from pathlib import Path
+
+#: Entry classes that must not be built per-message on the fast path.
+FORBIDDEN = {"P2PEntry", "BcastEntry"}
+
+#: Files that make up the batch fast path, relative to the repo root.
+HOT_FILES = (
+    "src/repro/core/mailbox.py",
+    "src/repro/core/coalescing.py",
+)
+
+#: ``(file, qualname)`` sites where per-message objects are legitimate:
+#: the handler-boundary fallbacks of the object path.
+ALLOWED_SITES = {
+    ("src/repro/core/mailbox.py", "Mailbox.post"),
+    ("src/repro/core/mailbox.py", "Mailbox.post_bcast"),
+    ("src/repro/core/mailbox.py", "Mailbox._handle_packet"),
+}
+
+
+def _call_name(node: ast.Call) -> str:
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return ""
+
+
+class _HotPathVisitor(ast.NodeVisitor):
+    def __init__(self, relpath: str) -> None:
+        self.relpath = relpath
+        self.stack: list[str] = []
+        self.violations: list[tuple[str, int, str, str]] = []
+
+    def _scoped(self, node) -> None:
+        self.stack.append(node.name)
+        self.generic_visit(node)
+        self.stack.pop()
+
+    visit_ClassDef = _scoped
+    visit_FunctionDef = _scoped
+    visit_AsyncFunctionDef = _scoped
+
+    def visit_Call(self, node: ast.Call) -> None:
+        name = _call_name(node)
+        if name in FORBIDDEN:
+            qualname = ".".join(self.stack) or "<module>"
+            if (self.relpath, qualname) not in ALLOWED_SITES:
+                self.violations.append(
+                    (self.relpath, node.lineno, qualname, name)
+                )
+        self.generic_visit(node)
+
+
+def lint_file(path: Path, relpath: str) -> list[tuple[str, int, str, str]]:
+    tree = ast.parse(path.read_text(), filename=str(path))
+    visitor = _HotPathVisitor(relpath)
+    visitor.visit(tree)
+    return visitor.violations
+
+
+def lint(root: Path) -> list[tuple[str, int, str, str]]:
+    violations = []
+    for rel in HOT_FILES:
+        path = root / rel
+        if path.exists():
+            violations.extend(lint_file(path, rel))
+    return violations
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--root",
+        default=str(Path(__file__).resolve().parent.parent),
+        help="repository root (default: this script's parent's parent)",
+    )
+    args = parser.parse_args(argv)
+    violations = lint(Path(args.root))
+    for relpath, lineno, qualname, name in violations:
+        print(
+            f"{relpath}:{lineno}: {name}() constructed in {qualname} -- "
+            f"the columnar fast path must not allocate per-message entry "
+            f"objects (allowed only at handler boundaries: "
+            f"{', '.join(sorted(q for _, q in ALLOWED_SITES))})",
+            file=sys.stderr,
+        )
+    if not violations:
+        print(f"hotpath lint: OK ({len(HOT_FILES)} files)")
+    return 1 if violations else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
