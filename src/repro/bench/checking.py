@@ -28,12 +28,19 @@ def run_check(
     apps: Optional[Sequence[str]] = None,
     scales: Optional[Sequence[str]] = None,
     pool=None,
+    pdes_workers: int = 0,
 ) -> int:
     from ..check import fuzz_schedules_sharded, run_oracle
 
     ok = True
 
-    report = run_oracle(apps=apps, scales=scales, seed=seed, pool=pool)
+    report = run_oracle(
+        apps=apps,
+        scales=scales,
+        seed=seed,
+        pool=pool,
+        pdes_workers=pdes_workers,
+    )
     print(report.render())
     ok &= report.ok
 

@@ -25,6 +25,12 @@ critical paths to quiescence, per-rank utilization and per-hop latency.
 a schedule-fuzz campaign run instead of any figure; the exit code
 reflects whether every check passed.
 
+``--pdes-workers N`` runs each YGM simulation partitioned across ``N``
+worker processes through the parallel DES engine (:mod:`repro.pdes`;
+results are bit-identical to serial, so figure tables do not change).
+Under ``--check`` it additionally turns every oracle cell into a
+serial-vs-parallel differential test.
+
 ``--perf`` switches to the wall-clock performance harness (see
 :mod:`repro.bench.perf` and EXPERIMENTS.md): micro- and macrobenchmarks
 of the DES stack itself, written to a schema-versioned
@@ -57,26 +63,31 @@ ABLATIONS = ["capacity", "cores", "eager", "hybrid", "straggler"]
 
 
 def run_figure(
-    fig: str, sweep: SweepConfig, quick: bool, pool: Optional[Pool] = None
+    fig: str,
+    sweep: SweepConfig,
+    quick: bool,
+    pool: Optional[Pool] = None,
+    pdes_workers: int = 0,
 ):
     from . import ablations, fig5, fig6, fig7, fig8
 
+    pw = pdes_workers
     if fig == "5":
         return [fig5.run(quick=quick, pool=pool)]
     if fig == "6a":
-        return [fig6.run_weak(sweep, pool=pool)]
+        return [fig6.run_weak(sweep, pool=pool, pdes_workers=pw)]
     if fig == "6b":
-        return [fig6.run_strong(sweep, pool=pool)]
+        return [fig6.run_strong(sweep, pool=pool, pdes_workers=pw)]
     if fig == "7a":
-        return [fig7.run_weak(sweep, pool=pool)]
+        return [fig7.run_weak(sweep, pool=pool, pdes_workers=pw)]
     if fig == "7b":
-        return [fig7.run_strong(sweep, pool=pool)]
+        return [fig7.run_strong(sweep, pool=pool, pdes_workers=pw)]
     if fig == "8a" or fig == "8b":
-        return [fig8.run_weak(sweep, skewed=True, pool=pool)]
+        return [fig8.run_weak(sweep, skewed=True, pool=pool, pdes_workers=pw)]
     if fig == "8c":
-        return [fig8.run_weak(sweep, skewed=False, pool=pool)]
+        return [fig8.run_weak(sweep, skewed=False, pool=pool, pdes_workers=pw)]
     if fig == "8d":
-        return [fig8.run_strong_webgraph(sweep, pool=pool)]
+        return [fig8.run_strong_webgraph(sweep, pool=pool, pdes_workers=pw)]
     if fig == "capacity":
         return [ablations.run_capacity_sweep(pool=pool)]
     if fig == "cores":
@@ -148,6 +159,17 @@ def main(argv: List[str] = None) -> int:
         metavar="N",
         help="worker processes for multi-simulation modes (default: all "
         "visible CPUs; 1 = serial, same output byte for byte)",
+    )
+    parser.add_argument(
+        "--pdes-workers",
+        type=int,
+        default=0,
+        metavar="N",
+        help="run each YGM simulation partitioned across N processes "
+        "(the parallel DES engine, repro.pdes; bit-identical results, "
+        "clamped to the simulated node count).  Applies to figure cells "
+        "(fig5 and the MPI comparator stay serial) and to the --check "
+        "oracle, where every cell gains a serial-vs-parallel differential",
     )
     parser.add_argument(
         "--no-cache",
@@ -281,6 +303,8 @@ def main(argv: List[str] = None) -> int:
     args = parser.parse_args(argv)
     if args.jobs is not None and args.jobs < 1:
         parser.error("--jobs must be >= 1")
+    if args.pdes_workers < 0:
+        parser.error("--pdes-workers must be >= 0")
 
     from ..exec import make_pool, stderr_progress
 
@@ -355,6 +379,7 @@ def main(argv: List[str] = None) -> int:
                 apps=args.check_apps,
                 scales=args.check_scales,
                 pool=pool,
+                pdes_workers=args.pdes_workers,
             )
         except KeyboardInterrupt:
             print("\n# interrupted; workers terminated", file=sys.stderr)
@@ -435,7 +460,13 @@ def main(argv: List[str] = None) -> int:
     for fig in expanded:
         start = time.perf_counter()
         try:
-            tables = run_figure(fig, sweep, quick=not args.full, pool=pool)
+            tables = run_figure(
+                fig,
+                sweep,
+                quick=not args.full,
+                pool=pool,
+                pdes_workers=args.pdes_workers,
+            )
         except KeyboardInterrupt:
             print("\n# interrupted; workers terminated", file=sys.stderr)
             return 130

@@ -66,8 +66,29 @@ def run_ygm(
     capacity: int,
     seed: int = 0,
     tracer=None,
+    pdes_workers: Optional[int] = None,
 ) -> YgmResult:
-    """Run one YGM configuration to completion."""
+    """Run one YGM configuration to completion.
+
+    ``pdes_workers`` > 1 runs the simulation partitioned across that
+    many worker processes through the parallel engine
+    (:class:`~repro.pdes.PdesWorld`; clamped to the node count).  The
+    result is bit-identical to the serial run -- the engine's
+    conformance battery (tests/pdes) enforces it -- so figure tables
+    are unchanged by construction.
+    """
+    if pdes_workers is not None and pdes_workers > 1:
+        from ..pdes import PdesWorld
+
+        engine = PdesWorld(
+            machine,
+            scheme=scheme,
+            seed=seed,
+            mailbox_capacity=capacity,
+            tracer=tracer,
+            workers=min(pdes_workers, machine.nodes),
+        )
+        return engine.run(make_app)
     world = YgmWorld(
         machine, scheme=scheme, seed=seed, mailbox_capacity=capacity, tracer=tracer
     )

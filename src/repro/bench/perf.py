@@ -290,6 +290,52 @@ def bench_packer_records(smoke: bool) -> Tuple[float, Dict[str, Any]]:
     return 2 * total / 1e6 / wall, {"batches": nbatches, "stream_bytes": total}
 
 
+def bench_pdes_speedup(smoke: bool) -> Tuple[float, Dict[str, Any]]:
+    """Serial/parallel wall-clock ratio of one partitioned run (x).
+
+    The same degree-counting scenario runs once serially
+    (:class:`~repro.core.YgmWorld`) and once partitioned across two
+    worker processes (:class:`~repro.pdes.PdesWorld`); the value is
+    serial wall / parallel wall, so > 1 means partitioning paid off.
+    On a host with a single free core expect ~1.0x or below (fork,
+    pickling and barrier overhead with no parallel hardware to win it
+    back); the entry tracks the trajectory, nothing gates on it.
+    """
+    from ..apps import make_degree_counting
+    from ..core import YgmWorld
+    from ..graph import er_stream
+    from ..machine import bench_machine
+    from ..pdes import PdesWorld
+
+    nodes, cores = (2, 2) if smoke else (4, 2)
+    edges_per_rank = 200 if smoke else 1500
+    machine = bench_machine(nodes, cores_per_node=cores)
+    stream = er_stream(
+        num_vertices=256, edges_per_rank=edges_per_rank, seed=5
+    )
+
+    def make():
+        return make_degree_counting(stream, batch_size=64)
+
+    t0 = time.perf_counter()
+    YgmWorld(machine, scheme="nlnr", seed=0, mailbox_capacity=256).run(make())
+    serial = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    PdesWorld(
+        machine, scheme="nlnr", seed=0, mailbox_capacity=256, workers=2
+    ).run(make())
+    parallel = time.perf_counter() - t0
+    return serial / parallel, {
+        "workload": "degree_count",
+        "nodes": nodes,
+        "cores_per_node": cores,
+        "edges_per_rank": edges_per_rank,
+        "workers": 2,
+        "serial_seconds": serial,
+        "parallel_seconds": parallel,
+    }
+
+
 # ---------------------------------------------------------- macrobenchmarks
 def _macro_sweep(nodes: int, smoke: bool):
     from .harness import SweepConfig
@@ -380,6 +426,9 @@ BENCHMARKS: List[BenchSpec] = [
     BenchSpec("fig6_degree_large", "seconds", False, lambda s: _bench_fig6(4 if s else 8, s)),
     BenchSpec("fig7_cc_small", "seconds", False, lambda s: _bench_fig7(2 if s else 4, s)),
     BenchSpec("fig7_cc_large", "seconds", False, lambda s: _bench_fig7(4 if s else 8, s)),
+    # Forks its own partition workers; keep it in-parent so pool worker
+    # processes are not nested.
+    BenchSpec("pdes_speedup", "x", True, bench_pdes_speedup, isolate=False),
     BenchSpec(
         "sweep_fig6_serial", "seconds", False,
         lambda s: _bench_sweep_fig6(None, s), isolate=False,

@@ -309,27 +309,19 @@ def minimize_window(
 FUZZ_SPEC = RecordSpec("fuzzmix", [("src", "u8"), ("val", "i8")])
 
 
-def mailbox_quiescence_scenario(
-    nodes: int = 2,
-    cores_per_node: int = 2,
-    scheme: str = "nlnr",
-    capacity: int = 6,
-    seed: int = 0,
-    n_scalar: int = 5,
-    n_batch: int = 40,
-) -> RunFn:
-    """Build the canonical mixed-traffic quiescence scenario.
+def quiescence_rank_main(
+    n_scalar: int = 5, n_batch: int = 40
+) -> Callable[[Any], Generator]:
+    """The canonical mixed-traffic quiescence rank program.
 
     Two ``wait_empty`` epochs over one mailbox: epoch 1 mixes random
     point-to-point pings (each answered by an echo *posted from the
     delivery callback*, exercising reentrancy) with a broadcast from
-    every rank; epoch 2 sends coalesced record batches.  The tiny
-    capacity forces frequent flushes and routing-intermediary
-    forwarding.  Returns a :data:`RunFn` whose canonical result (sorted
-    receive logs per rank) is schedule-independent, for use with
-    :func:`fuzz_schedules` / :func:`minimize_window`.
+    every rank; epoch 2 sends coalesced record batches.  Its per-rank
+    value (sorted receive logs) is schedule-independent, which is what
+    makes it the right payload for both the schedule fuzzer and the
+    parallel-DES engine's fuzz-under-partitioning test.
     """
-    from ..machine import bench_machine
 
     def rank_main(ctx) -> Generator:
         rank, nranks = ctx.rank, ctx.nranks
@@ -381,6 +373,25 @@ def mailbox_quiescence_scenario(
             "batch": tuple(sorted(got_batch)),
             "bcast": tuple(sorted(got_bcast)),
         }
+
+    return rank_main
+
+
+def mailbox_quiescence_scenario(
+    nodes: int = 2,
+    cores_per_node: int = 2,
+    scheme: str = "nlnr",
+    capacity: int = 6,
+    seed: int = 0,
+    n_scalar: int = 5,
+    n_batch: int = 40,
+) -> RunFn:
+    """Wrap :func:`quiescence_rank_main` as a checked :data:`RunFn`
+    (fresh machine per run, invariant checking on) for
+    :func:`fuzz_schedules` / :func:`minimize_window`."""
+    from ..machine import bench_machine
+
+    rank_main = quiescence_rank_main(n_scalar=n_scalar, n_batch=n_batch)
 
     def run_fn(tiebreaker):
         machine = bench_machine(nodes, cores_per_node=cores_per_node)

@@ -92,6 +92,17 @@ class TerminationDetector:
         #: counters which keep moving as soon as a rank exits its epoch.
         #: The invariant checker (:mod:`repro.check`) audits it.
         self.last_totals: Optional[Counts] = None
+        #: This rank's *own* ``(sent, received)`` sample from the round
+        #: that produced :attr:`last_totals` -- before children were
+        #: merged in.  Unlike ``last_totals`` (a global total, identical
+        #: on every rank, so summing it across ranks or partitions
+        #: overcounts), contributions are partition-composable by
+        #: construction: the sum of ``last_contribution`` over all ranks
+        #: equals ``last_totals`` exactly, because the agreed totals were
+        #: computed from precisely these samples.  The PDES engine
+        #: aggregates quiescence totals across partitions from this.
+        self.last_contribution: Optional[Counts] = None
+        self._own: Counts = (0, 0)
         self._partial: Counts = (0, 0)
         self._prev_totals: Optional[Counts] = None
         #: Arrived protocol messages keyed by tag.
@@ -134,6 +145,7 @@ class TerminationDetector:
         if not all(t in self._cache for t in tags):
             return False
         sent, recv = self.get_counts()
+        self._own = (sent, recv)
         for t in tags:
             c_sent, c_recv = self._cache.pop(t)
             sent += c_sent
@@ -168,6 +180,7 @@ class TerminationDetector:
     def _finish_round(self, done: bool) -> None:
         self.rounds_completed += 1
         self.last_totals = self._prev_totals
+        self.last_contribution = self._own
         if done:
             self.done = True
         else:

@@ -61,6 +61,13 @@ class Machine:
         self.remote_bytes = 0
         self.local_packets = 0
         self.local_bytes = 0
+        #: Optional PDES export hook, called at the packet-on-wire point of
+        #: :meth:`transmit_remote` as ``hook(t_wire, src, dst, nbytes,
+        #: packet)``.  Returning true claims the packet: the in-flight
+        #: remainder is *not* simulated here -- the owning partition of
+        #: ``dst`` replays it via :meth:`inject_arrival` at the identical
+        #: arrival instant.  ``None`` (the default) keeps the serial path.
+        self.on_remote_export: Any = None
 
     # -- shape helpers -----------------------------------------------------
     @property
@@ -160,6 +167,9 @@ class Machine:
             )
         if tracer is not None and tracer.lineage is not None and packet.lin is not None:
             tracer.lineage.packet_wire(packet.lin, self.sim.now)
+        exporter = self.on_remote_export
+        if exporter is not None and exporter(self.sim.now, src, dst, nbytes, packet):
+            return
         self.sim.process(
             self._in_flight(dst, dst_node, nbytes, packet, deliver),
             name=f"pkt:{src}->{dst}",
@@ -174,9 +184,51 @@ class Machine:
         deliver: Callable[[Any], None],
     ) -> Generator:
         """Wire delay + destination NIC + delivery (detached process)."""
+        yield self.sim.timeout(self.config.net.packet_costs(nbytes)[1])
+        yield from self._arrive(dst, dst_node, nbytes, packet, deliver)
+
+    def inject_arrival(
+        self,
+        t_wire: float,
+        src: int,
+        dst: int,
+        nbytes: int,
+        packet: Any,
+        deliver: Callable[[Any], None],
+    ) -> None:
+        """Replay a cross-partition packet's arrival (PDES import side).
+
+        The exporting partition observed the packet on the wire at
+        ``t_wire`` and skipped its in-flight remainder; this reconstructs
+        it here at ``t_wire + remote_delay(nbytes)`` -- the same float
+        expression the serial :meth:`_in_flight` timeout would have
+        produced, so arrival timestamps (and everything downstream:
+        NIC-RX contention, delivery order, stats) are bit-identical.
+        """
+        t_arr = t_wire + self.config.net.packet_costs(nbytes)[1]
+        self.sim.process_at(
+            self._arrive(dst, self.node_of(dst), nbytes, packet, deliver),
+            t_arr,
+            name=f"pkt:{src}->{dst}",
+        )
+
+    def _arrive(
+        self,
+        dst: int,
+        dst_node: int,
+        nbytes: int,
+        packet: Any,
+        deliver: Callable[[Any], None],
+    ) -> Generator:
+        """Destination-side tail of a remote packet: NIC-RX + delivery.
+
+        Runs at the instant the packet reaches the destination node --
+        either resumed from :meth:`_in_flight`'s wire-delay timeout
+        (serial) or started there directly by :meth:`inject_arrival`
+        (PDES import).
+        """
         net = self.config.net
-        nic_time, remote_delay, _ = net.packet_costs(nbytes)
-        yield self.sim.timeout(remote_delay)
+        nic_time = net.packet_costs(nbytes)[0]
         tracer = self.sim.tracer
         prof = tracer.lineage if tracer is not None else None
         if prof is not None and packet.lin is not None:

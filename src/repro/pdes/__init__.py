@@ -1,0 +1,25 @@
+"""Parallel discrete-event simulation of one YGM run.
+
+Partitions the simulated machine's nodes across forked worker
+processes, advances them with a conservative window-barrier protocol
+(lookahead = the network model's minimum wire latency) and reassembles
+a result bit-identical to the serial :class:`~repro.core.YgmWorld`.
+See :mod:`repro.pdes.engine` for the protocol and EXPERIMENTS.md
+("Parallel DES") for the derivation and the conformance battery.
+"""
+
+from .conformance import ConformanceError, assert_equivalent
+from .engine import PdesError, PdesStallError, PdesWorld, run_pdes
+from .partition import NodePartition
+from .worker import CausalityError
+
+__all__ = [
+    "PdesWorld",
+    "run_pdes",
+    "NodePartition",
+    "PdesError",
+    "PdesStallError",
+    "CausalityError",
+    "ConformanceError",
+    "assert_equivalent",
+]

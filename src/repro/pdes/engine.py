@@ -1,0 +1,432 @@
+"""The conservative parallel-DES driver (window-barrier protocol).
+
+One big simulation, partitioned by node across forked worker processes
+(:mod:`repro.pdes.worker`), each running the unchanged serial kernel
+over its node block.  The driver advances everyone in *windows*:
+
+1. every partition reports the timestamp of its earliest pending event;
+2. the driver takes the global minimum ``t_min`` (including any packet
+   exported last window but not yet injected) and announces the horizon
+   ``H = t_min + L``, where the lookahead ``L`` is the network model's
+   :attr:`~repro.machine.netmodel.NetworkModel.min_wire_latency`;
+3. partitions process every event strictly below ``H``.  Any event in
+   the window sits at ``t >= t_min``, so a packet it puts on the wire
+   arrives at ``t_wire + remote_delay >= t_min + L = H`` -- beyond the
+   window -- which is why processing the window concurrently on all
+   partitions is safe (conservative synchronisation, no rollback);
+4. at the barrier, exported packets are routed to the partitions owning
+   their destination ranks and injected at bit-identical arrival
+   timestamps; repeat.
+
+A partition whose owned rank programs have all completed freezes at its
+local completion instant (the serial ``run_until_complete`` stop rule)
+and is excluded from the horizon computation; once *every* partition has
+completed, leftovers strictly below the global completion time
+``T_final = max(local finishes)`` -- events the serial run would still
+have processed while later-finishing ranks were live -- are drained,
+and per-rank results are aggregated into a normal
+:class:`~repro.core.context.YgmResult`.
+
+Global quiescence totals are audited across partitions: every mailbox's
+:attr:`~repro.core.mailbox.Mailbox.term_contribution` samples (one per
+rank) must sum to the termination detector's agreed global
+``last_totals`` -- the partition-composable identity the serial
+detector guarantees.
+"""
+
+from __future__ import annotations
+
+import math
+import multiprocessing
+import time
+from typing import Any, Callable, Dict, Generator, List, Optional, Union
+
+from ..core.config import MailboxConfig
+from ..core.context import YgmResult
+from ..core.routing import RoutingScheme, get_scheme
+from ..core.stats import aggregate
+from ..machine import MachineConfig, bench_machine
+from ..sim.errors import DeadlockError
+from .partition import NodePartition
+from .worker import (
+    CMD_FINISH,
+    CMD_STEP,
+    REP_ERROR,
+    REP_READY,
+    REP_REPORT,
+    REP_RESULT,
+    WorkerSpec,
+    worker_main,
+)
+
+
+class PdesError(RuntimeError):
+    """A protocol failure in the parallel engine (not a simulation error)."""
+
+
+class PdesStallError(PdesError):
+    """A worker failed to reach the window barrier within the timeout."""
+
+    def __init__(self, stalled: List[int], timeout: float, round_no: int):
+        self.stalled = stalled
+        super().__init__(
+            f"PDES partition(s) {stalled} stalled: no barrier report within "
+            f"{timeout:.1f}s (window round {round_no}); workers killed"
+        )
+
+
+class PdesWorld:
+    """A :class:`~repro.core.YgmWorld` lookalike running the simulation
+    partitioned across ``workers`` processes.
+
+    The result is bit-identical to the serial ``YgmWorld.run`` -- same
+    values, timestamps, delivery orders and statistics -- which the
+    ``tests/pdes`` conformance battery enforces across every app,
+    routing scheme and partition count.
+    """
+
+    def __init__(
+        self,
+        machine: Union[MachineConfig, int],
+        scheme: Union[str, RoutingScheme] = "nlnr",
+        seed: int = 0,
+        mailbox_capacity: int = MailboxConfig().capacity,
+        cores_per_node: int = 8,
+        tracer=None,
+        tiebreaker=None,
+        columnar: bool = MailboxConfig().columnar,
+        workers: int = 2,
+        window_timeout: float = 120.0,
+    ):
+        if isinstance(machine, int):
+            machine = bench_machine(nodes=machine, cores_per_node=cores_per_node)
+        self.machine_config = machine
+        self.tracer = tracer
+        self.tiebreaker = tiebreaker
+        self.seed = seed
+        if isinstance(scheme, str):
+            scheme = get_scheme(scheme, machine.nodes, machine.cores_per_node)
+        elif (scheme.nodes, scheme.cores) != (machine.nodes, machine.cores_per_node):
+            raise ValueError("routing scheme shape does not match the machine")
+        self.scheme = scheme
+        self.default_config = MailboxConfig(
+            capacity=mailbox_capacity, columnar=columnar
+        )
+        self.partition = NodePartition(
+            machine.nodes, machine.cores_per_node, workers
+        )
+        self.lookahead = machine.net.min_wire_latency
+        if not self.lookahead > 0.0:
+            raise PdesError(
+                f"conservative lookahead must be positive, got "
+                f"{self.lookahead!r} (NetworkModel.min_wire_latency); a "
+                "zero-latency interconnect admits no parallel window"
+            )
+        self.window_timeout = window_timeout
+        if tracer is not None:
+            tracer.bind(
+                nodes=machine.nodes, cores_per_node=machine.cores_per_node
+            )
+        #: Window-protocol counters of the last :meth:`run` (diagnostics).
+        self.rounds = 0
+        self.exported_packets = 0
+
+    @property
+    def nranks(self) -> int:
+        return self.machine_config.nranks
+
+    @property
+    def nworkers(self) -> int:
+        return self.partition.nparts
+
+    # -- worker management -------------------------------------------------
+    def _spawn(self, rank_main) -> tuple:
+        ctx = multiprocessing.get_context("fork")
+        conns, procs = [], []
+        for p in range(self.nworkers):
+            parent, child = ctx.Pipe()
+            spec = WorkerSpec(
+                part=p,
+                partition=self.partition,
+                machine_config=self.machine_config,
+                scheme=self.scheme,
+                seed=self.seed,
+                default_config=self.default_config,
+                rank_main=rank_main,
+                tiebreaker=self.tiebreaker,
+            )
+            proc = ctx.Process(
+                target=worker_main, args=(child, spec), daemon=True,
+                name=f"pdes-part{p}",
+            )
+            proc.start()
+            child.close()
+            conns.append(parent)
+            procs.append(proc)
+        return conns, procs
+
+    def _kill(self, procs) -> None:
+        for proc in procs:
+            if proc.is_alive():
+                proc.terminate()
+        deadline = time.monotonic() + 5.0
+        for proc in procs:
+            proc.join(max(0.0, deadline - time.monotonic()))
+            if proc.is_alive():
+                proc.kill()
+
+    def _recv(self, conns, procs, expect: str, round_no: int) -> List[tuple]:
+        """One reply per worker, stall- and error-checked.
+
+        Waits on all outstanding pipes at once and drains whichever are
+        ready, so a stall verdict only ever names partitions that truly
+        sent nothing -- not ones whose reply merely sat unread behind a
+        slower sibling in the polling order.
+        """
+        replies: List[Optional[tuple]] = [None] * len(conns)
+        part_of = {id(conn): p for p, conn in enumerate(conns)}
+        pending = set(range(len(conns)))
+        deadline = time.monotonic() + self.window_timeout
+        while pending:
+            budget = deadline - time.monotonic()
+            ready = (
+                multiprocessing.connection.wait(
+                    [conns[p] for p in pending], timeout=budget
+                )
+                if budget > 0
+                else []
+            )
+            if not ready:
+                stalled = sorted(pending)
+                self._kill(procs)
+                raise PdesStallError(stalled, self.window_timeout, round_no)
+            for conn in ready:
+                p = part_of[id(conn)]
+                try:
+                    msg = conn.recv()
+                except EOFError:
+                    self._kill(procs)
+                    raise PdesError(
+                        f"PDES partition {p} exited without a report "
+                        f"(window round {round_no})"
+                    ) from None
+                if msg[0] == REP_ERROR:
+                    self._kill(procs)
+                    raise PdesError(
+                        f"PDES partition {msg[1]} failed:\n{msg[2]}"
+                    )
+                if msg[0] != expect:
+                    self._kill(procs)
+                    raise PdesError(
+                        f"PDES partition {p}: expected {expect!r} reply, "
+                        f"got {msg[0]!r}"
+                    )
+                replies[p] = msg
+                pending.discard(p)
+        return replies  # type: ignore[return-value]
+
+    # -- the window-barrier protocol ---------------------------------------
+    def run(self, rank_main: Callable[..., Generator]) -> YgmResult:
+        """Run ``rank_main(ctx)`` on every rank, partitioned; returns the
+        same :class:`YgmResult` the serial ``YgmWorld.run`` would."""
+        nparts = self.nworkers
+        lookahead = self.lookahead
+        delay_of = self.machine_config.net.packet_costs
+        owner_of_rank = self.partition.owner_of_rank
+        tracer = self.tracer
+        self.rounds = 0
+        self.exported_packets = 0
+
+        conns, procs = self._spawn(rank_main)
+        try:
+            self._recv(conns, procs, REP_READY, round_no=0)
+            pending: List[List[tuple]] = [[] for _ in range(nparts)]
+
+            def step_all(horizons, drain: bool) -> List[tuple]:
+                for p, conn in enumerate(conns):
+                    conn.send((CMD_STEP, horizons[p], pending[p], drain))
+                    pending[p] = []
+                reports = self._recv(conns, procs, REP_REPORT, self.rounds)
+                for rep in reports:
+                    _, part, exports, _nt, _rem, _done, _now, _steps = rep
+                    self.exported_packets += len(exports)
+                    for exp in exports:
+                        pending[owner_of_rank(exp[2])].append(exp)
+                return reports
+
+            # Round 0: report-only (no horizon), to learn initial t_min.
+            reports = step_all([None] * nparts, drain=False)
+
+            while True:
+                remaining = {rep[1]: rep[4] for rep in reports}
+                if sum(remaining.values()) == 0:
+                    break
+                # Horizon: earliest pending event over *active* partitions
+                # and not-yet-injected imports.  Completed partitions are
+                # frozen at their finish instant -- their leftovers are
+                # post-completion chains that cannot export (a packet's
+                # wire instant never trails its sender's finish), so they
+                # are deferred to the final drain rather than allowed to
+                # pin the horizon forever.
+                candidates = [
+                    rep[3]
+                    for rep in reports
+                    if rep[4] > 0 and rep[3] is not None
+                ]
+                candidates += [
+                    exp[0] + delay_of(exp[3])[1]
+                    for p in range(nparts)
+                    if remaining[p] > 0
+                    for exp in pending[p]
+                ]
+                if not candidates:
+                    blocked = sum(remaining.values())
+                    latest = max(rep[6] for rep in reports)
+                    raise DeadlockError(blocked, latest)
+                t_min = min(candidates)
+                horizon = math.inf if nparts == 1 else t_min + lookahead
+                self.rounds += 1
+                reports = step_all([horizon] * nparts, drain=False)
+                if tracer is not None and tracer.wants("pdes"):
+                    n_exports = sum(len(b) for b in pending)
+                    tracer.instant(
+                        t_min, "pdes", "window", "pdes driver",
+                        round=self.rounds, horizon=horizon,
+                        active=sum(1 for r in remaining.values() if r > 0),
+                        exports=n_exports,
+                    )
+                    for rep in reports:
+                        tracer.instant(
+                            rep[6], "pdes", "barrier", f"partition {rep[1]}",
+                            round=self.rounds, next_t=rep[3],
+                            remaining=rep[4], steps=rep[7],
+                        )
+
+            # -- final drain: the serial run keeps popping events until
+            # the globally-last rank finishes; replay that tail.
+            t_final = max(rep[5] for rep in reports)
+            while True:
+                self.rounds += 1
+                reports = step_all([t_final] * nparts, drain=True)
+                busy = any(
+                    rep[3] is not None and rep[3] < t_final for rep in reports
+                )
+                if not busy and not any(pending):
+                    break
+            if tracer is not None and tracer.wants("pdes"):
+                tracer.instant(
+                    t_final, "pdes", "complete", "pdes driver",
+                    rounds=self.rounds, exported=self.exported_packets,
+                )
+
+            for conn in conns:
+                conn.send((CMD_FINISH,))
+            results = self._recv(conns, procs, REP_RESULT, self.rounds)
+        finally:
+            self._kill(procs)
+            for conn in conns:
+                try:
+                    conn.close()
+                except OSError:
+                    pass
+
+        return self._assemble([rep[2] for rep in results])
+
+    # -- result assembly ---------------------------------------------------
+    def _assemble(self, parts: List[dict]) -> YgmResult:
+        nranks = self.nranks
+        nodes = self.machine_config.nodes
+        values: List[Any] = [None] * nranks
+        finish_times: List[float] = [float("nan")] * nranks
+        per_rank: List[Any] = [None] * nranks
+        tx_busy: Dict[int, float] = {}
+        rx_busy: Dict[int, float] = {}
+        counters = {
+            "remote_packets": 0, "remote_bytes": 0,
+            "local_packets": 0, "local_bytes": 0,
+        }
+        term: Dict[int, list] = {}
+        for part in parts:
+            for r, v in part["values"].items():
+                values[r] = v
+            for r, t in part["finish_times"].items():
+                finish_times[r] = t
+            for r, stats in part["per_rank_stats"].items():
+                per_rank[r] = stats
+            term.update(part["term"])
+            tx_busy.update(part["transport"]["tx_busy"])
+            rx_busy.update(part["transport"]["rx_busy"])
+            for key in counters:
+                counters[key] += part["transport"][key]
+        missing = [r for r in range(nranks) if per_rank[r] is None]
+        if missing:
+            raise PdesError(f"no partition reported ranks {missing}")
+        # Serial elapsed is sim.now at the stop instant: the completion
+        # event (success or failure) of the globally last rank.  Each
+        # partition records exactly that instant locally as ``done_at``,
+        # so the global stop is their max.  For all-success runs this
+        # equals max(finish_times); unlike it, it stays finite when a
+        # rank program died (its finish_time is NaN, as in serial).
+        elapsed = max(part["done_at"] for part in parts)
+        self._audit_term(term)
+        # Same node-order float summation as Machine.nic_utilisation.
+        transport = {
+            "tx_busy": sum(tx_busy[n] for n in range(nodes)),
+            "rx_busy": sum(rx_busy[n] for n in range(nodes)),
+            **counters,
+        }
+        return YgmResult(
+            values=values,
+            elapsed=elapsed,
+            finish_times=finish_times,
+            transport=transport,
+            per_rank_stats=per_rank,
+            mailbox_stats=aggregate(per_rank),
+        )
+
+    def _audit_term(self, term: Dict[int, list]) -> None:
+        """Check the partition-composable quiescence identity.
+
+        For every mailbox id: the agreed global ``last_totals`` (same on
+        every rank that completed the epoch) must equal the sum of the
+        per-rank ``last_contribution`` samples collected from the
+        partitions.  A mismatch means a partition lost or double-counted
+        cross-partition traffic.
+        """
+        by_mailbox: Dict[int, Dict[str, Any]] = {}
+        for rank, entries in term.items():
+            for mailbox_id, totals, contribution in entries:
+                if totals is None or contribution is None:
+                    continue
+                slot = by_mailbox.setdefault(
+                    mailbox_id, {"totals": totals, "sent": 0, "recv": 0}
+                )
+                if slot["totals"] != totals:
+                    raise PdesError(
+                        f"mailbox {mailbox_id}: partitions disagree on "
+                        f"quiescence totals ({slot['totals']} vs {totals} "
+                        f"at rank {rank})"
+                    )
+                slot["sent"] += contribution[0]
+                slot["recv"] += contribution[1]
+        for mailbox_id, slot in by_mailbox.items():
+            if (slot["sent"], slot["recv"]) != tuple(slot["totals"]):
+                raise PdesError(
+                    f"mailbox {mailbox_id}: quiescence totals are not "
+                    f"partition-composable: sum of per-rank contributions "
+                    f"({slot['sent']}, {slot['recv']}) != agreed totals "
+                    f"{tuple(slot['totals'])}"
+                )
+
+
+def run_pdes(
+    rank_main: Callable[..., Generator],
+    machine: Union[MachineConfig, int],
+    scheme: Union[str, RoutingScheme] = "nlnr",
+    workers: int = 2,
+    **kwargs,
+) -> YgmResult:
+    """One-call convenience wrapper around :class:`PdesWorld`."""
+    return PdesWorld(machine, scheme=scheme, workers=workers, **kwargs).run(
+        rank_main
+    )

@@ -1,0 +1,355 @@
+"""The per-partition worker of the parallel DES engine.
+
+Each worker is a forked OS process owning one :class:`NodePartition`
+block of the simulated machine.  It builds the *full* serial stack -- a
+fresh :class:`~repro.mpi.world.World` with the complete machine shape
+and inboxes for every rank -- but launches rank programs only for its
+owned ranks and installs the machine's ``on_remote_export`` hook, so:
+
+* all intra-partition simulation (local transfers, NIC contention,
+  mailbox routing, same-node fast paths) runs through the unchanged
+  serial kernel;
+* a packet bound for a foreign rank is captured at its packet-on-wire
+  instant and shipped to the driver instead of being simulated in
+  flight; the owning partition replays the arrival at the bit-identical
+  timestamp via :meth:`~repro.machine.topology.Machine.inject_arrival`.
+
+The worker is driven round by round over a pipe (see
+:mod:`repro.pdes.engine` for the window-barrier protocol).  Forking --
+not spawning -- matters: rank programs are closures that never need to
+be pickled; only per-window packet batches cross the pipe.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+import traceback
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+from ..core.config import MailboxConfig
+from ..core.context import YgmContext
+from ..core.stats import aggregate
+from ..mpi import World
+from ..sim.errors import DeadlockError
+
+#: Command / reply verbs of the driver<->worker pipe protocol.
+CMD_STEP = "step"
+CMD_FINISH = "finish"
+REP_READY = "ready"
+REP_REPORT = "report"
+REP_RESULT = "result"
+REP_ERROR = "error"
+
+
+@dataclass
+class WorkerSpec:
+    """Everything a forked worker needs (inherited, never pickled)."""
+
+    part: int
+    partition: Any  # NodePartition
+    machine_config: Any
+    scheme: Any  # resolved RoutingScheme object
+    seed: int
+    default_config: MailboxConfig
+    rank_main: Any
+    tiebreaker: Any = None
+
+
+class CausalityError(RuntimeError):
+    """An imported packet arrived behind the partition's clock.
+
+    This cannot happen for conforming runs (the window protocol bounds
+    every import below by the horizon); it indicates a protocol bug and
+    is raised loudly instead of silently corrupting the timeline.
+    """
+
+
+class PartitionRuntime:
+    """One partition's simulation state inside a worker process."""
+
+    def __init__(self, spec: WorkerSpec):
+        self.part = spec.part
+        self.partition = spec.partition
+        #: While injecting an imported arrival, the wire instant the
+        #: serial run would have pushed it at (see the tiebreaker below).
+        self._push_override: Optional[float] = None
+        if spec.partition.nparts > 1:
+            tiebreaker = self._make_push_order_tiebreaker(spec.tiebreaker)
+        else:
+            tiebreaker = spec.tiebreaker
+        self.world = World(
+            spec.machine_config, seed=spec.seed, tiebreaker=tiebreaker
+        )
+        self.sim = self.world.sim
+        self.machine = self.world.machine
+        self.net = spec.machine_config.net
+        self.owned: List[int] = list(spec.partition.ranks_of(spec.part))
+        owned_nodes = set(spec.partition.nodes_of(spec.part))
+        self._owned_nodes = owned_nodes
+        self.exports: List[tuple] = []
+
+        exports_append = self.exports.append
+
+        def exporter(t_wire, src, dst, nbytes, packet):
+            exports_append((t_wire, src, dst, nbytes, packet))
+            return True
+
+        # Every inter-node packet -- cross-partition or not -- leaves via
+        # the export hook and re-enters through :meth:`inject`, so all
+        # remote arrivals at one timestamp are sequenced under the single
+        # canonical key ``(t_arr, t_wire, src)``.  Exporting only the
+        # cross-partition subset would interleave barrier-injected
+        # arrivals with natively-simulated ones and break the serial
+        # delivery order whenever two sources' packets land on the same
+        # rank at the same instant (routine in rank-symmetric apps).  In
+        # single-partition mode there is no barrier to re-inject at, so
+        # the native in-flight path runs untouched (exactly the serial
+        # kernel).
+        if spec.partition.nparts > 1:
+            self.machine.on_remote_export = exporter
+
+        # -- launch owned rank programs (same wrapping as YgmWorld.run +
+        # World.run, restricted to the owned ranks in world-rank order so
+        # partition-relative startup order matches the serial run) --
+        self.contexts: List[YgmContext] = []
+        self.finish_times: Dict[int, float] = {}
+        self.remaining = len(self.owned)
+        world = self.world
+        rank_main = spec.rank_main
+        scheme = spec.scheme
+        default_config = spec.default_config
+
+        def make_wrapper(r: int):
+            def wrapper():
+                ctx = YgmContext(world.make_context(r), scheme, default_config)
+                self.contexts.append(ctx)
+                value = yield from rank_main(ctx)
+                self.finish_times[r] = world.sim.now
+                return value
+
+            return wrapper()
+
+        self.procs = dict(
+            zip(
+                self.owned,
+                world.sim.process_batch(
+                    (make_wrapper(r) for r in self.owned),
+                    names=[f"rank{r}" for r in self.owned],
+                ),
+            )
+        )
+
+        #: Instant the last owned rank program completed (succeeded *or*
+        #: failed -- the serial stop rule counts both), None while live.
+        self.done_at: Optional[float] = None
+
+        def finished(_ev) -> None:
+            self.remaining -= 1
+            if self.remaining == 0:
+                self.done_at = self.sim.now
+
+        for p in self.procs.values():
+            p.attach(finished)
+
+    def _make_push_order_tiebreaker(self, user):
+        """Order same-timestamp events by *push time* -- the serial order.
+
+        The serial kernel breaks timestamp ties by sequence number,
+        i.e. by heap-push order; and since pushes happen at the
+        simulator's (nondecreasing) current time, that order is exactly
+        ``(push time, push index)``.  A partitioned run can reproduce
+        the push times: native pushes use the local clock (matching
+        serial, because intra-partition event order is preserved), and
+        an injected arrival uses the wire instant its serial push
+        (``_in_flight``'s timeout) would have happened at.  Keying the
+        heap this way restores the serial interleaving of an import
+        against local events pushed *after* its wire instant but landing
+        on the same timestamp -- the one tie the barrier's injection
+        sequence numbers get backwards.  (In a serial-equivalent run the
+        key is provably inert: push time is nondecreasing in push index,
+        so sorting by it never reorders.)  A user tiebreaker (schedule
+        fuzzing) still scrambles within each push instant.
+        """
+
+        def tiebreaker(at, seq):
+            push_time = self._push_override
+            if push_time is None:
+                push_time = self.world.sim._now
+            if user is not None:
+                return (push_time, user(at, seq))
+            return push_time
+
+        return tiebreaker
+
+    # -- stepping ----------------------------------------------------------
+    def peek(self) -> Optional[float]:
+        heap = self.sim._heap
+        return heap[0][0] if heap else None
+
+    def inject(self, imports: List[tuple]) -> None:
+        """Enqueue imported packet arrivals at their exact timestamps.
+
+        Injection order is wire order: a *stable* sort by ``t_wire``.
+        The driver hands over each partition's exports in that
+        partition's local wire order (which the engine provably
+        preserves), concatenated in partition order -- so after the
+        stable sort, same-instant packets from one partition keep their
+        exact serial order, and the only tie resolved arbitrarily (by
+        partition index) is the exact-same-float-instant collision
+        *across* partitions, which serial resolves by an unknowable
+        global heap artifact.  Each arrival is pushed under its wire
+        instant via the push-order tiebreaker, and ``t_arr`` is computed
+        with the identical memoised ``remote_delay`` expression the
+        serial in-flight path uses, so both the timestamp and its tie
+        rank are reproduced.
+        """
+        if not imports:
+            return
+        costs = self.net.packet_costs
+        imports = sorted(imports, key=lambda e: e[0])
+        machine = self.machine
+        inboxes = self.world.inboxes
+        now = self.sim.now
+        try:
+            for t_wire, src, dst, nbytes, packet in imports:
+                if t_wire + costs(nbytes)[1] < now:
+                    raise CausalityError(
+                        f"partition {self.part}: import {src}->{dst} arrives "
+                        f"at t={t_wire + costs(nbytes)[1]!r}, behind local "
+                        f"clock t={now!r}"
+                    )
+                self._push_override = t_wire
+                machine.inject_arrival(
+                    t_wire, src, dst, nbytes, packet, inboxes[dst].deliver
+                )
+        finally:
+            self._push_override = None
+
+    def pump(self, limit: float) -> Optional[float]:
+        """Process events strictly below ``limit``, stopping at completion.
+
+        The serial :meth:`~repro.sim.kernel.Simulator.run_until_complete`
+        stop rule, windowed: the event that finishes the last owned rank
+        program ends the pump mid-window.  The same simulated timestamp
+        is then flushed (``run_until_complete`` would keep popping those
+        events while *other* partitions' ranks are still live), so any
+        packet already committed to the wire at the finish instant still
+        exports instead of being stranded in a frozen heap.
+        """
+        sim = self.sim
+        heap = sim._heap
+        pop = heapq.heappop
+        while heap and heap[0][0] < limit:
+            if self.remaining <= 0 and heap[0][0] != sim._now:
+                break
+            item = pop(heap)
+            sim._now = item[0]
+            sim._steps += 1
+            if sim.tracer is not None:
+                sim._trace_step(sim.tracer, item[-1])
+            item[-1]._process()
+        if not heap and self.remaining > 0 and limit == math.inf:
+            # Single-partition mode mirrors the serial deadlock check; in
+            # windowed mode an empty heap just means "waiting for
+            # imports" and the driver rules on global deadlock.
+            raise DeadlockError(self.sim._live_processes, self.sim.now)
+        return heap[0][0] if heap else None
+
+    def step(self, horizon, imports: List[tuple], drain: bool):
+        """One window: inject, advance, report."""
+        self.inject(imports)
+        if horizon is None:
+            next_t = self.peek()
+        elif drain:
+            next_t = self.sim.run_window(horizon)
+        elif self.remaining > 0:
+            next_t = self.pump(horizon)
+        else:
+            next_t = self.peek()
+        exports, self.exports[:] = list(self.exports), []
+        return (
+            REP_REPORT,
+            self.part,
+            exports,
+            next_t,
+            self.remaining,
+            self.done_at,
+            self.sim.now,
+            self.sim.steps,
+        )
+
+    # -- result assembly ---------------------------------------------------
+    def result(self) -> tuple:
+        """Per-rank outcome of this partition, all picklable."""
+        contexts = sorted(self.contexts, key=lambda c: c.world_rank)
+        per_rank_stats = {
+            ctx.world_rank: aggregate(mb.stats for mb in ctx.mailboxes)
+            for ctx in contexts
+        }
+        term = {
+            ctx.world_rank: [
+                (mb._app_kind[1], mb.term_totals, mb.term_contribution)
+                for mb in ctx.mailboxes
+            ]
+            for ctx in contexts
+        }
+        values = {
+            r: (p.value if p.triggered else None) for r, p in self.procs.items()
+        }
+        transport = {
+            "tx_busy": {
+                n: self.machine.nic_tx[n].busy_time for n in self._owned_nodes
+            },
+            "rx_busy": {
+                n: self.machine.nic_rx[n].busy_time for n in self._owned_nodes
+            },
+            "remote_packets": self.machine.remote_packets,
+            "remote_bytes": self.machine.remote_bytes,
+            "local_packets": self.machine.local_packets,
+            "local_bytes": self.machine.local_bytes,
+        }
+        return (
+            REP_RESULT,
+            self.part,
+            {
+                "values": values,
+                "done_at": self.done_at,
+                "finish_times": dict(self.finish_times),
+                "per_rank_stats": per_rank_stats,
+                "term": term,
+                "transport": transport,
+                "steps": self.sim.steps,
+            },
+        )
+
+
+def worker_main(conn, spec: WorkerSpec) -> None:
+    """Forked-process entry point: build the partition, serve the pipe."""
+    try:
+        runtime = PartitionRuntime(spec)
+        conn.send((REP_READY, spec.part))
+        while True:
+            msg = conn.recv()
+            cmd = msg[0]
+            if cmd == CMD_STEP:
+                _, horizon, imports, drain = msg
+                conn.send(runtime.step(horizon, imports, drain))
+            elif cmd == CMD_FINISH:
+                conn.send(runtime.result())
+                return
+            else:
+                raise ValueError(f"unknown PDES command {cmd!r}")
+    except EOFError:
+        return  # driver went away; nothing to report to
+    except BaseException:
+        try:
+            conn.send((REP_ERROR, spec.part, traceback.format_exc()))
+        except (BrokenPipeError, OSError):
+            pass
+    finally:
+        try:
+            conn.close()
+        except OSError:
+            pass

@@ -189,6 +189,67 @@ class Simulator:
                 push(heap, (t, tb(t, seq), seq, ev))
         self._seq = seq
 
+    def _enqueue_abs(self, event: Event, at: float) -> None:
+        """Enqueue a triggered event at the *absolute* time ``at``.
+
+        The parallel-DES engine (:mod:`repro.pdes`) uses this to place
+        cross-partition packet arrivals at their exact simulated
+        timestamp: computing the time as ``delay = at - now`` and going
+        through :meth:`_enqueue` would round-trip through float
+        subtraction and lose bit-identity with the serial kernel, which
+        computed the same instant as ``t_wire + remote_delay``.  ``at``
+        may not be in the past (events before ``now`` have already been
+        processed; injecting one would violate causality).
+        """
+        if at < self._now:
+            raise ValueError(
+                f"cannot enqueue at t={at!r}: simulator already at {self._now!r}"
+            )
+        self._seq = seq = self._seq + 1
+        if self._tiebreaker is None:
+            heapq.heappush(self._heap, (at, seq, event))
+        else:
+            heapq.heappush(self._heap, (at, self._tiebreaker(at, seq), seq, event))
+
+    def process_at(self, gen: Generator, at: float, name: str = "") -> "Process":  # noqa: F821
+        """Launch *gen* as a process whose first step runs at time ``at``.
+
+        Exactly one kernel event is consumed at ``at`` (the process init
+        event), mirroring how a timeout completion resumes a suspended
+        generator -- this is what keeps an injected cross-partition
+        arrival's event footprint identical to the serial
+        ``timeout(remote_delay)`` resume it replaces.
+        """
+        from .process import Process
+
+        proc = Process(self, gen, name=name, _defer_start=True)
+        self._enqueue_abs(proc._make_init_event(), at)
+        return proc
+
+    def run_window(self, limit: float) -> Optional[float]:
+        """Process every queued event with timestamp strictly below ``limit``.
+
+        The conservative-synchronisation window of :mod:`repro.pdes`:
+        events at or beyond ``limit`` may still be affected by
+        not-yet-received cross-partition traffic, so the loop leaves them
+        queued and returns the earliest pending timestamp (``None`` if
+        the queue drained).  Unlike :meth:`run`, the clock is never
+        advanced past the last *processed* event and an empty queue is
+        not a deadlock -- the partition may simply be waiting for
+        injections, which only the driver can rule out globally.
+        """
+        heap = self._heap
+        pop = heapq.heappop
+        while heap and heap[0][0] < limit:
+            item = pop(heap)
+            self._now = item[0]
+            self._steps += 1
+            tracer = self.tracer
+            if tracer is not None:
+                self._trace_step(tracer, item[-1])
+            item[-1]._process()
+        return heap[0][0] if heap else None
+
     def schedule(self, delay: float, callback: Callable[[], None]) -> Event:
         """Run ``callback()`` after ``delay`` seconds; returns the event.
 

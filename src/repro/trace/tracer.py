@@ -121,10 +121,12 @@ class JsonlSink(Sink):
 
 #: Categories recorded by default: application annotations, mailbox
 #: activity (flush/forward/termination/idle), transport packets,
-#: resource (NIC) occupancy, and host-side job-pool execution records
+#: resource (NIC) occupancy, host-side job-pool execution records
 #: (``repro.exec`` -- per-job queued/started/finished/cache-hit spans;
-#: host wall clock, not simulated time).
-DEFAULT_CATEGORIES = frozenset({"app", "mailbox", "mpi", "resource", "exec"})
+#: host wall clock, not simulated time), and parallel-DES driver events
+#: (``repro.pdes`` -- per-window horizon/barrier records with
+#: per-partition progress; simulated time on the window axis).
+DEFAULT_CATEGORIES = frozenset({"app", "mailbox", "mpi", "resource", "exec", "pdes"})
 
 #: Everything, including the very chatty per-event kernel dispatch and
 #: per-process block/unblock categories.

@@ -1,0 +1,62 @@
+"""A stalled worker must not hang the driver (satellite: hang containment).
+
+A partition that stops making progress -- here a rank program spinning
+in host-time ``time.sleep`` inside the forked worker -- never reaches
+the window barrier.  The driver's per-window timeout must fire, kill
+every worker process and raise :class:`PdesStallError` naming the stuck
+partition, instead of blocking forever on the pipe.
+"""
+
+import time
+
+import pytest
+
+from repro.pdes import PdesStallError, PdesWorld
+
+
+def test_stalled_partition_is_detected_killed_and_named():
+    def rank_main(ctx):
+        if ctx.rank == 3:
+            # Host-time stall inside the worker: the simulated clock
+            # never advances, the barrier report never arrives.
+            time.sleep(600.0)
+        return ctx.rank
+        yield  # make it a generator
+
+    engine = PdesWorld(4, cores_per_node=1, workers=2, window_timeout=1.0)
+    t0 = time.monotonic()
+    with pytest.raises(PdesStallError) as ei:
+        engine.run(rank_main)
+    waited = time.monotonic() - t0
+
+    # Partition 1 owns nodes 2-3 (hence rank 3); partition 0 reported fine.
+    assert ei.value.stalled == [1]
+    assert "partition(s) [1]" in str(ei.value)
+    # The driver honoured the timeout rather than waiting out the sleep.
+    assert waited < 30.0
+
+
+def test_workers_are_reaped_after_a_stall():
+    def rank_main(ctx):
+        if ctx.rank == 0:
+            time.sleep(600.0)
+        return ctx.rank
+        yield
+
+    engine = PdesWorld(4, cores_per_node=1, workers=2, window_timeout=1.0)
+    with pytest.raises(PdesStallError) as ei:
+        engine.run(rank_main)
+    assert ei.value.stalled == [0]
+    # No orphaned simulation processes: every forked worker is dead.
+    import multiprocessing
+
+    deadline = time.monotonic() + 10.0
+    while time.monotonic() < deadline:
+        stragglers = [
+            p for p in multiprocessing.active_children()
+            if p.name.startswith("pdes-part")
+        ]
+        if not stragglers:
+            break
+        time.sleep(0.05)
+    assert not stragglers

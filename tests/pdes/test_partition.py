@@ -1,0 +1,50 @@
+"""NodePartition: the contiguous node->partition mapping."""
+
+import pytest
+
+from repro.pdes import NodePartition
+
+
+def test_even_split():
+    p = NodePartition(8, 2, 4)
+    assert [p.node_range(i) for i in range(4)] == [(0, 2), (2, 4), (4, 6), (6, 8)]
+    assert list(p.ranks_of(1)) == [4, 5, 6, 7]
+
+
+def test_uneven_split_first_blocks_get_extra_node():
+    # numpy.array_split semantics: 7 nodes over 3 parts -> 3, 2, 2.
+    p = NodePartition(7, 4, 3)
+    assert [p.node_range(i) for i in range(3)] == [(0, 3), (3, 5), (5, 7)]
+
+
+@pytest.mark.parametrize("nodes,cores,nparts", [(8, 2, 1), (8, 2, 3), (5, 3, 5), (16, 8, 7)])
+def test_owner_maps_are_total_and_consistent(nodes, cores, nparts):
+    p = NodePartition(nodes, cores, nparts)
+    # Every node owned exactly once, by contiguous blocks.
+    owners = [p.owner_of_node(n) for n in range(nodes)]
+    assert owners == sorted(owners)
+    assert set(owners) == set(range(nparts))
+    # Rank side agrees with node side and covers all ranks exactly once.
+    seen = []
+    for part in range(nparts):
+        for r in p.ranks_of(part):
+            assert p.owner_of_rank(r) == part
+            assert p.owner_of_node(r // cores) == part
+            seen.append(r)
+    assert sorted(seen) == list(range(nodes * cores))
+
+
+def test_single_partition_owns_everything():
+    p = NodePartition(4, 2, 1)
+    assert list(p.ranks_of(0)) == list(range(8))
+
+
+def test_rejects_bad_partition_counts():
+    with pytest.raises(ValueError):
+        NodePartition(4, 2, 0)
+    with pytest.raises(ValueError):
+        NodePartition(4, 2, 5)  # more partitions than nodes
+
+
+def test_repr_names_the_blocks():
+    assert "nodes[0:2]" in repr(NodePartition(4, 2, 2))
