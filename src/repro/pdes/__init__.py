@@ -11,6 +11,8 @@ See :mod:`repro.pdes.engine` for the protocol and EXPERIMENTS.md
 from .conformance import ConformanceError, assert_equivalent
 from .engine import PdesError, PdesStallError, PdesWorld, run_pdes
 from .partition import NodePartition
+from .rings import RingError, ShmTransport, SpscRing
+from .wire import WireError, decode_batch, encode_batch
 from .worker import CausalityError
 
 __all__ = [
@@ -21,5 +23,11 @@ __all__ = [
     "PdesStallError",
     "CausalityError",
     "ConformanceError",
+    "RingError",
+    "ShmTransport",
+    "SpscRing",
+    "WireError",
     "assert_equivalent",
+    "decode_batch",
+    "encode_batch",
 ]

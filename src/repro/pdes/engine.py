@@ -5,18 +5,42 @@ One big simulation, partitioned by node across forked worker processes
 over its node block.  The driver advances everyone in *windows*:
 
 1. every partition reports the timestamp of its earliest pending event;
-2. the driver takes the global minimum ``t_min`` (including any packet
-   exported last window but not yet injected) and announces the horizon
-   ``H = t_min + L``, where the lookahead ``L`` is the network model's
-   :attr:`~repro.machine.netmodel.NetworkModel.min_wire_latency`;
-3. partitions process every event strictly below ``H``.  Any event in
-   the window sits at ``t >= t_min``, so a packet it puts on the wire
-   arrives at ``t_wire + remote_delay >= t_min + L = H`` -- beyond the
-   window -- which is why processing the window concurrently on all
-   partitions is safe (conservative synchronisation, no rollback);
+2. the driver computes each partition's earliest activity ``e_p`` (its
+   next event or earliest not-yet-injected import arrival) and hands
+   partition ``p`` the horizon ``H_p = min(A_p + L, e_p + K*L)``, where
+   ``A_p = min over other active partitions q of e_q``, the lookahead
+   ``L`` is the network model's
+   :attr:`~repro.machine.netmodel.NetworkModel.min_wire_latency`, and
+   ``K`` is the window-batch factor (``K = 1`` collapses every ``H_p``
+   to the classic common horizon ``t_min + L``);
+3. partitions process every event strictly below ``H_p``, *dynamically
+   clamped* by the worker's export hook: after the partition's first
+   export of the round at wire instant ``w`` it stops at ``w + 2L``
+   (the earliest instant the outside world's reaction to that export
+   could arrive back), and after its first export *to itself* at ``w_s``
+   it stops at ``w_s + L`` (such a packet re-enters directly).  Any
+   import generated this round by another partition arrives at
+   ``>= A_p + L >= H_p``; chains that pass through this partition's own
+   influence arrive ``>= w + 2L`` (or ``w_s + L``) -- so nothing a
+   partition processes can precede an import it has yet to see
+   (conservative synchronisation, no rollback), while a partition with
+   no nearby neighbours or no outbound traffic runs up to ``K`` windows
+   between barriers;
 4. at the barrier, exported packets are routed to the partitions owning
    their destination ranks and injected at bit-identical arrival
-   timestamps; repeat.
+   timestamps; repeat.  With ``window_batch=0`` (the default) ``K``
+   adapts to observed traffic: it doubles after an export-free round
+   and halves (to a floor of 1) after a round that exported, so chatty
+   phases run at the provably-tight single window while quiet phases
+   collapse barriers ~``K``-fold.
+
+Export batches cross process boundaries through the shared-memory ring
+transport (:mod:`repro.pdes.rings`) by default: the pipes carry only
+verbs, horizons and tiny batch descriptors while the packet bytes move
+through per-worker SPSC rings in the serde wire format
+(:mod:`repro.pdes.wire`) -- no pickling on the hot path.
+``PDES_TRANSPORT=pipe`` (or ``PdesWorld(transport="pipe")``) selects
+the legacy pickle-over-pipe path for differential testing.
 
 A partition whose owned rank programs have all completed freezes at its
 local completion instant (the serial ``run_until_complete`` stop rule)
@@ -38,6 +62,7 @@ from __future__ import annotations
 
 import math
 import multiprocessing
+import os
 import time
 from typing import Any, Callable, Dict, Generator, List, Optional, Union
 
@@ -48,6 +73,8 @@ from ..core.stats import aggregate
 from ..machine import MachineConfig, bench_machine
 from ..sim.errors import DeadlockError
 from .partition import NodePartition
+from .rings import RingError, ShmTransport, recv_batch, send_batch
+from .wire import decode_batch
 from .worker import (
     CMD_FINISH,
     CMD_STEP,
@@ -97,6 +124,9 @@ class PdesWorld:
         columnar: bool = MailboxConfig().columnar,
         workers: int = 2,
         window_timeout: float = 120.0,
+        transport: Optional[str] = None,
+        window_batch: Optional[int] = None,
+        ring_bytes: Optional[int] = None,
     ):
         if isinstance(machine, int):
             machine = bench_machine(nodes=machine, cores_per_node=cores_per_node)
@@ -123,6 +153,30 @@ class PdesWorld:
                 "zero-latency interconnect admits no parallel window"
             )
         self.window_timeout = window_timeout
+        if transport is None:
+            transport = os.environ.get("PDES_TRANSPORT", "shm")
+        if transport not in ("pipe", "shm"):
+            raise PdesError(
+                f"unknown PDES transport {transport!r} "
+                "(expected 'pipe' or 'shm')"
+            )
+        #: Export-batch transport: ``"shm"`` ships batches through
+        #: shared-memory rings, ``"pipe"`` pickles them over the pipes
+        #: (the legacy path, kept for differential testing).
+        self.transport = transport
+        if window_batch is None:
+            window_batch = int(os.environ.get("PDES_WINDOW_BATCH", "0"))
+        if window_batch < 0:
+            raise PdesError(
+                f"window_batch must be >= 0 (0 selects the adaptive "
+                f"policy), got {window_batch}"
+            )
+        #: Window-batch factor K; 0 = adaptive, 1 = the legacy common
+        #: horizon, k > 1 = up to k lookahead windows per barrier round.
+        self.window_batch = window_batch
+        self.ring_bytes = ring_bytes
+        self._rings: Optional[ShmTransport] = None
+        self._scratch = bytearray()
         if tracer is not None:
             tracer.bind(
                 nodes=machine.nodes, cores_per_node=machine.cores_per_node
@@ -130,6 +184,8 @@ class PdesWorld:
         #: Window-protocol counters of the last :meth:`run` (diagnostics).
         self.rounds = 0
         self.exported_packets = 0
+        self.spilled_batches = 0
+        self.max_window_batch = 1
 
     @property
     def nranks(self) -> int:
@@ -143,27 +199,53 @@ class PdesWorld:
     def _spawn(self, rank_main) -> tuple:
         ctx = multiprocessing.get_context("fork")
         conns, procs = [], []
-        for p in range(self.nworkers):
-            parent, child = ctx.Pipe()
-            spec = WorkerSpec(
-                part=p,
-                partition=self.partition,
-                machine_config=self.machine_config,
-                scheme=self.scheme,
-                seed=self.seed,
-                default_config=self.default_config,
-                rank_main=rank_main,
-                tiebreaker=self.tiebreaker,
-            )
-            proc = ctx.Process(
-                target=worker_main, args=(child, spec), daemon=True,
-                name=f"pdes-part{p}",
-            )
-            proc.start()
-            child.close()
-            conns.append(parent)
-            procs.append(proc)
+        # The shared segment must exist before the fork: workers inherit
+        # the one mapping (nothing is pickled, nothing re-attaches by
+        # name), so only the driver's resource tracker registers it and
+        # the single unlink in run()'s finally leaves it quiet.
+        rings = None
+        if self.transport == "shm" and self.nworkers > 1:
+            rings = ShmTransport(self.nworkers, self.ring_bytes)
+        self._rings = rings
+        try:
+            for p in range(self.nworkers):
+                parent, child = ctx.Pipe()
+                spec = WorkerSpec(
+                    part=p,
+                    partition=self.partition,
+                    machine_config=self.machine_config,
+                    scheme=self.scheme,
+                    seed=self.seed,
+                    default_config=self.default_config,
+                    rank_main=rank_main,
+                    tiebreaker=self.tiebreaker,
+                    transport=self.transport,
+                    rings=rings,
+                )
+                proc = ctx.Process(
+                    target=worker_main, args=(child, spec), daemon=True,
+                    name=f"pdes-part{p}",
+                )
+                proc.start()
+                child.close()
+                conns.append(parent)
+                procs.append(proc)
+        except BaseException:
+            self._kill(procs)
+            self._teardown_rings()
+            raise
         return conns, procs
+
+    def _teardown_rings(self) -> None:
+        rings, self._rings = self._rings, None
+        if rings is None:
+            return
+        try:
+            rings.close()
+        except BufferError:  # pragma: no cover - leaked view; best effort
+            pass
+        finally:
+            rings.unlink()
 
     def _kill(self, procs) -> None:
         for proc in procs:
@@ -187,8 +269,12 @@ class PdesWorld:
         part_of = {id(conn): p for p, conn in enumerate(conns)}
         pending = set(range(len(conns)))
         deadline = time.monotonic() + self.window_timeout
+        eof: List[int] = []
+        grace: Optional[float] = None
         while pending:
             budget = deadline - time.monotonic()
+            if grace is not None:
+                budget = min(budget, grace - time.monotonic())
             ready = (
                 multiprocessing.connection.wait(
                     [conns[p] for p in pending], timeout=budget
@@ -197,24 +283,24 @@ class PdesWorld:
                 else []
             )
             if not ready:
+                if eof:
+                    break  # grace expired: report the silent deaths
                 stalled = sorted(pending)
                 self._kill(procs)
                 raise PdesStallError(stalled, self.window_timeout, round_no)
+            errors = []
             for conn in ready:
                 p = part_of[id(conn)]
                 try:
                     msg = conn.recv()
                 except EOFError:
-                    self._kill(procs)
-                    raise PdesError(
-                        f"PDES partition {p} exited without a report "
-                        f"(window round {round_no})"
-                    ) from None
+                    eof.append(p)
+                    pending.discard(p)
+                    continue
                 if msg[0] == REP_ERROR:
-                    self._kill(procs)
-                    raise PdesError(
-                        f"PDES partition {msg[1]} failed:\n{msg[2]}"
-                    )
+                    errors.append(msg)
+                    pending.discard(p)
+                    continue
                 if msg[0] != expect:
                     self._kill(procs)
                     raise PdesError(
@@ -223,7 +309,93 @@ class PdesWorld:
                     )
                 replies[p] = msg
                 pending.discard(p)
+            if errors:
+                # A real traceback always beats a bare EOF: name the
+                # partition that actually failed, even if a sibling's
+                # pipe collapsed first in the polling order.
+                self._kill(procs)
+                raise PdesError(
+                    f"PDES partition {errors[0][1]} failed:\n{errors[0][2]}"
+                )
+            if eof and grace is None:
+                # A worker died without a traceback.  Give its siblings
+                # a short grace window: when the true failure is a crash
+                # elsewhere (the usual cascade), its REP_ERROR is already
+                # in flight and must win the attribution.
+                grace = time.monotonic() + 1.0
+        if eof:
+            self._kill(procs)
+            parts = sorted(eof)
+            raise PdesError(
+                f"PDES partition(s) {parts} exited without a report "
+                f"(window round {round_no})" + self._ring_attribution(parts)
+            ) from None
         return replies  # type: ignore[return-value]
+
+    def _ring_attribution(self, parts: List[int]) -> str:
+        """Describe what a dead worker left sitting in its export ring.
+
+        A non-empty ``from_worker`` ring means the worker died *after*
+        encoding its window exports but *before* its report reached the
+        barrier -- the batches are drained (never routed: their window
+        never completed) and counted so the error names how much traffic
+        the dead partition was holding.
+        """
+        if self._rings is None:
+            return ""
+        notes = []
+        for p in parts:
+            ring = self._rings.from_worker[p]
+            batches = msgs = 0
+            while True:
+                try:
+                    data = ring.begin_pop()
+                except RingError:
+                    break
+                try:
+                    msgs += len(decode_batch(data))
+                    batches += 1
+                except Exception:  # truncated by the crash mid-encode
+                    notes.append(
+                        f"; partition {p} left a corrupt batch in its "
+                        f"export ring"
+                    )
+                    break
+                finally:
+                    if type(data) is memoryview:
+                        data.release()
+                ring.commit_pop()
+            if batches:
+                notes.append(
+                    f"; partition {p} left {batches} undelivered export "
+                    f"batch(es) ({msgs} message(s)) in its ring"
+                )
+            elif ring.used > 0:
+                notes.append(
+                    f"; partition {p} left {ring.used} unread byte(s) "
+                    f"(partial batch) in its export ring"
+                )
+        return "".join(notes)
+
+    # -- export-batch transport --------------------------------------------
+    def _ship(self, p: int, batch: List[tuple]):
+        """Driver -> worker: returns what to put on the pipe for ``batch``."""
+        rings = self._rings
+        if rings is None:
+            return batch
+        desc = send_batch(rings.to_worker[p], batch, self._scratch)
+        if desc[0] == "spill":
+            self.spilled_batches += 1
+        return desc
+
+    def _fetch(self, p: int, desc) -> List[tuple]:
+        """Worker -> driver: materialise a report's export batch."""
+        rings = self._rings
+        if rings is None:
+            return desc
+        if desc[0] == "spill":
+            self.spilled_batches += 1
+        return recv_batch(rings.from_worker[p], desc)
 
     # -- the window-barrier protocol ---------------------------------------
     def run(self, rank_main: Callable[..., Generator]) -> YgmResult:
@@ -236,6 +408,8 @@ class PdesWorld:
         tracer = self.tracer
         self.rounds = 0
         self.exported_packets = 0
+        self.spilled_batches = 0
+        self.max_window_batch = 1
 
         conns, procs = self._spawn(rank_main)
         try:
@@ -244,11 +418,13 @@ class PdesWorld:
 
             def step_all(horizons, drain: bool) -> List[tuple]:
                 for p, conn in enumerate(conns):
-                    conn.send((CMD_STEP, horizons[p], pending[p], drain))
-                    pending[p] = []
+                    batch, pending[p] = pending[p], []
+                    conn.send(
+                        (CMD_STEP, horizons[p], self._ship(p, batch), drain)
+                    )
                 reports = self._recv(conns, procs, REP_REPORT, self.rounds)
                 for rep in reports:
-                    _, part, exports, _nt, _rem, _done, _now, _steps = rep
+                    exports = self._fetch(rep[1], rep[2])
                     self.exported_packets += len(exports)
                     for exp in exports:
                         pending[owner_of_rank(exp[2])].append(exp)
@@ -257,41 +433,83 @@ class PdesWorld:
             # Round 0: report-only (no horizon), to learn initial t_min.
             reports = step_all([None] * nparts, drain=False)
 
+            batch_k = self.window_batch if self.window_batch > 0 else 1
+            adaptive = self.window_batch == 0
             while True:
                 remaining = {rep[1]: rep[4] for rep in reports}
                 if sum(remaining.values()) == 0:
                     break
-                # Horizon: earliest pending event over *active* partitions
-                # and not-yet-injected imports.  Completed partitions are
-                # frozen at their finish instant -- their leftovers are
-                # post-completion chains that cannot export (a packet's
-                # wire instant never trails its sender's finish), so they
-                # are deferred to the final drain rather than allowed to
-                # pin the horizon forever.
-                candidates = [
-                    rep[3]
-                    for rep in reports
-                    if rep[4] > 0 and rep[3] is not None
-                ]
-                candidates += [
-                    exp[0] + delay_of(exp[3])[1]
-                    for p in range(nparts)
-                    if remaining[p] > 0
-                    for exp in pending[p]
-                ]
-                if not candidates:
+                # Earliest activity e_p per *active* partition: its next
+                # local event or earliest not-yet-injected import.
+                # Completed partitions are frozen at their finish
+                # instant -- their leftovers are post-completion chains
+                # that cannot export (a packet's wire instant never
+                # trails its sender's finish), so they are deferred to
+                # the final drain rather than allowed to pin the horizon
+                # forever.
+                nxt: Dict[int, float] = {}
+                for rep in reports:
+                    p = rep[1]
+                    if remaining[p] <= 0:
+                        continue
+                    cands = [
+                        exp[0] + delay_of(exp[3])[1] for exp in pending[p]
+                    ]
+                    if rep[3] is not None:
+                        cands.append(rep[3])
+                    if cands:
+                        nxt[p] = min(cands)
+                if not nxt:
                     blocked = sum(remaining.values())
                     latest = max(rep[6] for rep in reports)
                     raise DeadlockError(blocked, latest)
-                t_min = min(candidates)
-                horizon = math.inf if nparts == 1 else t_min + lookahead
+                t_min = min(nxt.values())
+                base = math.inf if nparts == 1 else t_min + lookahead
+                if nparts == 1 or batch_k <= 1:
+                    horizons = [base] * nparts
+                else:
+                    # Batched per-partition horizons: everything below
+                    # min(A_p + L, e_p + K*L) is provably independent of
+                    # this round's other windows *given* the workers'
+                    # dynamic first-export clamp (see the module
+                    # docstring for the two-hop reflection argument).
+                    # K = 1 reduces exactly to the common base horizon.
+                    horizons = []
+                    for p in range(nparts):
+                        e_p = nxt.get(p)
+                        if e_p is None:
+                            horizons.append(base)
+                            continue
+                        a_p = min(
+                            (e for q, e in nxt.items() if q != p),
+                            default=math.inf,
+                        )
+                        horizons.append(
+                            min(a_p + lookahead, e_p + batch_k * lookahead)
+                        )
                 self.rounds += 1
-                reports = step_all([horizon] * nparts, drain=False)
+                if batch_k > self.max_window_batch:
+                    self.max_window_batch = batch_k
+                spills_before = self.spilled_batches
+                reports = step_all(horizons, drain=False)
+                n_exports = sum(len(b) for b in pending)
+                k_used = batch_k
+                if adaptive and nparts > 1:
+                    # Volume-driven K: double after an export-free round
+                    # (quiet phase -- barriers are pure overhead), halve
+                    # after an exporting round, collapse to 1 the moment
+                    # a batch outgrew its ring.
+                    if self.spilled_batches > spills_before:
+                        batch_k = 1
+                    elif n_exports == 0:
+                        batch_k = min(batch_k * 2, 512)
+                    else:
+                        batch_k = max(1, batch_k // 2)
                 if tracer is not None and tracer.wants("pdes"):
-                    n_exports = sum(len(b) for b in pending)
                     tracer.instant(
                         t_min, "pdes", "window", "pdes driver",
-                        round=self.rounds, horizon=horizon,
+                        round=self.rounds, horizon=base,
+                        batch=k_used,
                         active=sum(1 for r in remaining.values() if r > 0),
                         exports=n_exports,
                     )
@@ -329,6 +547,10 @@ class PdesWorld:
                     conn.close()
                 except OSError:
                     pass
+            # Exactly one unlink, on every exit path -- normal, error,
+            # stall kill, KeyboardInterrupt -- so no segment outlives
+            # the run and the resource tracker stays quiet.
+            self._teardown_rings()
 
         return self._assemble([rep[2] for rep in results])
 

@@ -33,6 +33,7 @@ from ..core.context import YgmContext
 from ..core.stats import aggregate
 from ..mpi import World
 from ..sim.errors import DeadlockError
+from .rings import recv_batch, send_batch
 
 #: Command / reply verbs of the driver<->worker pipe protocol.
 CMD_STEP = "step"
@@ -55,6 +56,11 @@ class WorkerSpec:
     default_config: MailboxConfig
     rank_main: Any
     tiebreaker: Any = None
+    #: ``"pipe"`` ships export batches as objects over the pipe (the
+    #: legacy pickling transport); ``"shm"`` ships them through the
+    #: shared-memory rings with only a tiny descriptor on the pipe.
+    transport: str = "pipe"
+    rings: Any = None  # ShmTransport, shared with the driver via fork
 
 
 class CausalityError(RuntimeError):
@@ -89,11 +95,43 @@ class PartitionRuntime:
         owned_nodes = set(spec.partition.nodes_of(spec.part))
         self._owned_nodes = owned_nodes
         self.exports: List[tuple] = []
+        self.transport = spec.transport
+        self._scratch = bytearray()
+        if spec.rings is not None:
+            self._rx = spec.rings.to_worker[spec.part]
+            self._tx = spec.rings.from_worker[spec.part]
+        else:
+            self._rx = self._tx = None
+
+        #: Live pump limit for the current window.  :meth:`pump` seeds it
+        #: with the driver's horizon; the exporter hook *tightens* it as
+        #: packets hit the wire (see below), which is what makes the
+        #: driver's batched per-partition horizons safe.
+        self._limit: float = math.inf
 
         exports_append = self.exports.append
+        lookahead = self.net.min_wire_latency
+        reflect = 2.0 * lookahead
+        owner_of_rank = spec.partition.owner_of_rank
+        part = spec.part
 
         def exporter(t_wire, src, dst, nbytes, packet):
             exports_append((t_wire, src, dst, nbytes, packet))
+            # Dynamic clamp: once this partition has influenced the
+            # outside world (first export at wire instant w), nothing it
+            # does beyond w + 2L is safe -- another partition may react
+            # to that export and send something back arriving as early
+            # as w + 2L.  An export whose destination we own ourselves
+            # re-enters at w + L exactly, so it clamps a full L tighter.
+            # Under the legacy common horizon H = t_min + L both bounds
+            # are >= H (w >= t_min), i.e. the clamp is provably inert at
+            # window_batch=1 and only bites when the driver hands out
+            # batched (> t_min + L) horizons.
+            limit = t_wire + (
+                lookahead if owner_of_rank(dst) == part else reflect
+            )
+            if limit < self._limit:
+                self._limit = limit
             return True
 
         # Every inter-node packet -- cross-partition or not -- leaves via
@@ -241,7 +279,8 @@ class PartitionRuntime:
         sim = self.sim
         heap = sim._heap
         pop = heapq.heappop
-        while heap and heap[0][0] < limit:
+        self._limit = limit
+        while heap and heap[0][0] < self._limit:
             if self.remaining <= 0 and heap[0][0] != sim._now:
                 break
             item = pop(heap)
@@ -272,13 +311,26 @@ class PartitionRuntime:
         return (
             REP_REPORT,
             self.part,
-            exports,
+            self._ship_exports(exports),
             next_t,
             self.remaining,
             self.done_at,
             self.sim.now,
             self.sim.steps,
         )
+
+    # -- transport ---------------------------------------------------------
+    def recv_imports(self, batch) -> List[tuple]:
+        """Materialise a window's imports from their pipe descriptor."""
+        if self._rx is None or self.transport == "pipe":
+            return batch
+        return recv_batch(self._rx, batch)
+
+    def _ship_exports(self, exports: List[tuple]):
+        """Encode a window's exports; returns what rides the pipe."""
+        if self._tx is None or self.transport == "pipe":
+            return exports
+        return send_batch(self._tx, exports, self._scratch)
 
     # -- result assembly ---------------------------------------------------
     def result(self) -> tuple:
@@ -334,8 +386,10 @@ def worker_main(conn, spec: WorkerSpec) -> None:
             msg = conn.recv()
             cmd = msg[0]
             if cmd == CMD_STEP:
-                _, horizon, imports, drain = msg
-                conn.send(runtime.step(horizon, imports, drain))
+                _, horizon, batch, drain = msg
+                conn.send(
+                    runtime.step(horizon, runtime.recv_imports(batch), drain)
+                )
             elif cmd == CMD_FINISH:
                 conn.send(runtime.result())
                 return
@@ -349,6 +403,11 @@ def worker_main(conn, spec: WorkerSpec) -> None:
         except (BrokenPipeError, OSError):
             pass
     finally:
+        if spec.rings is not None:
+            try:
+                spec.rings.close()
+            except BufferError:  # pragma: no cover - leaked view; best effort
+                pass
         try:
             conn.close()
         except OSError:

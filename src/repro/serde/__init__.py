@@ -14,6 +14,7 @@ from .packer import (
     packed_size,
     packed_size_many,
     unpack,
+    unpack_from,
     unpack_many,
 )
 from .records import RecordSpec
@@ -31,5 +32,6 @@ __all__ = [
     "register",
     "registered",
     "unpack",
+    "unpack_from",
     "unpack_many",
 ]

@@ -231,9 +231,21 @@ _PACK_HANDLERS: Dict[type, Callable[[bytearray, Any], None]] = {
     frozenset: _pack_set,
 }
 
+# Registered after its definition below; exact-type dispatch spares the
+# PDES wire hot path an isinstance chain per column.
+# (np.ndarray subclasses still reach _pack_ndarray via _pack_other.)
+
 
 def _pack_into(out: bytearray, obj: Any) -> None:
     _PACK_HANDLERS.get(type(obj), _pack_other)(out, obj)
+
+
+# Hot-path caches: a run ships the same handful of dtypes millions of
+# times, and both ``np.dtype(str)`` construction and ``dtype.str`` are
+# surprisingly expensive NumPy calls.  dtype objects are immutable and
+# the set seen per process is tiny, so unbounded dicts are safe.
+_DTYPE_PACK_CACHE: Dict[np.dtype, bytes] = {}
+_DTYPE_UNPACK_CACHE: Dict[bytes, np.dtype] = {}
 
 
 def _pack_dtype(out: bytearray, dtype: np.dtype) -> None:
@@ -243,10 +255,13 @@ def _pack_dtype(out: bytearray, dtype: np.dtype) -> None:
         # descr is a nested list/tuple/str structure; reuse the packer.
         _pack_into(out, _descr_to_plain(dtype.descr))
     else:
-        out.append(0)
-        descr = dtype.str.encode("ascii")
-        _write_uvarint(out, len(descr))
-        out += descr
+        enc = _DTYPE_PACK_CACHE.get(dtype)
+        if enc is None:
+            descr = dtype.str.encode("ascii")
+            hdr = bytearray((0,))
+            _write_uvarint(hdr, len(descr))
+            enc = _DTYPE_PACK_CACHE[dtype] = bytes(hdr) + descr
+        out += enc
 
 
 def _descr_to_plain(descr):
@@ -264,7 +279,10 @@ def _unpack_dtype(buf: memoryview, pos: int) -> Tuple[np.dtype, int]:
         descr, pos = _unpack_from(buf, pos)
         return np.dtype([tuple(e) for e in descr]), pos
     n, pos = _read_uvarint(buf, pos)
-    dtype = np.dtype(bytes(buf[pos : pos + n]).decode("ascii"))
+    key = bytes(buf[pos : pos + n])
+    dtype = _DTYPE_UNPACK_CACHE.get(key)
+    if dtype is None:
+        dtype = _DTYPE_UNPACK_CACHE[key] = np.dtype(key.decode("ascii"))
     return dtype, pos + n
 
 
@@ -285,6 +303,9 @@ def _pack_ndarray(out: bytearray, arr: np.ndarray) -> None:
         except (BufferError, ValueError, TypeError):
             pass  # dtype can't export a buffer (e.g. datetime64)
     out += np.ascontiguousarray(arr).tobytes()
+
+
+_PACK_HANDLERS[np.ndarray] = _pack_ndarray
 
 
 def pack(obj: Any) -> bytes:
@@ -468,11 +489,19 @@ def _unpack_custom(buf: memoryview, pos: int) -> Tuple[Any, int]:
 def _unpack_ndarray(buf: memoryview, pos: int) -> Tuple[np.ndarray, int]:
     dtype, pos = _unpack_dtype(buf, pos)
     ndim, pos = _read_uvarint(buf, pos)
+    if ndim == 1:
+        # Hot path: the 1-D columns the PDES wire codec ships by the
+        # million.  No reshape, no np.prod -- frombuffer + copy only.
+        count, pos = _read_uvarint(buf, pos)
+        nbytes = count * dtype.itemsize
+        arr = np.frombuffer(buf[pos : pos + nbytes], dtype=dtype).copy()
+        return arr, pos + nbytes
     shape = []
+    count = 1
     for _ in range(ndim):
         dim, pos = _read_uvarint(buf, pos)
         shape.append(dim)
-    count = int(np.prod(shape)) if shape else 1
+        count *= dim
     nbytes = count * dtype.itemsize
     arr = np.frombuffer(buf[pos : pos + nbytes], dtype=dtype).reshape(shape).copy()
     return arr, pos + nbytes
@@ -508,6 +537,25 @@ def _unpack_from(buf: memoryview, pos: int) -> Tuple[Any, int]:
     if pos >= len(buf):
         raise SerdeError("truncated data")
     return _UNPACK_HANDLERS[buf[pos]](buf, pos + 1)
+
+
+def unpack_from(data, pos: int = 0) -> Tuple[Any, int]:
+    """Deserialize one object from ``data`` at ``pos``; returns
+    ``(obj, next_pos)``.
+
+    The incremental entry point for stream decoders: the PDES ring
+    transport (:mod:`repro.pdes.wire`) writes concatenated encodings
+    with :func:`pack_into` and reads them back object by object straight
+    out of shared memory, without slicing per-object blobs first.
+    ``data`` may be any buffer (bytes, bytearray, memoryview).
+    """
+    buf = data if type(data) is memoryview else memoryview(data)
+    if pos >= len(buf):
+        raise SerdeError("truncated data")
+    try:
+        return _UNPACK_HANDLERS[buf[pos]](buf, pos + 1)
+    except (IndexError, struct.error):
+        raise SerdeError("truncated data") from None
 
 
 def unpack(data: bytes) -> Any:

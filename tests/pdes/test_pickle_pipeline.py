@@ -1,12 +1,15 @@
-"""Coalesced batches survive the worker pipe (satellite: pickling).
+"""Coalesced batches survive the worker transport (satellite: serialization).
 
-Cross-partition packets are shipped between processes as pickled
-batches.  Two layers of proof: the batch entry types round-trip through
-pickle field-for-field (including the columnar struct-of-arrays runs),
-and a mixed-traffic workload (scalar p2p + reentrant echo + broadcast +
-fixed-width record batches) is bit-identical to serial in both columnar
-and object layouts -- i.e. whatever layout the mailbox chose, the pipe
-crossing preserved it.
+Cross-partition packets are shipped between processes as serialized
+batches -- pickled over the pipe on the legacy transport, serde-encoded
+through shared-memory rings on the default one.  Two layers of proof:
+the batch entry types round-trip through pickle field-for-field
+(including the columnar struct-of-arrays runs), and a mixed-traffic
+workload (scalar p2p + reentrant echo + broadcast + fixed-width record
+batches) is bit-identical to serial in both columnar and object layouts
+under *both* transports -- i.e. whatever layout the mailbox chose, the
+process crossing preserved it.  (The ring codec itself is exercised
+in depth by test_wire.py.)
 """
 
 import pickle
@@ -67,16 +70,18 @@ def test_p2p_columns_roundtrip_preserves_all_columns_and_derived_fields():
     assert back.wire_bytes == cols.wire_bytes
 
 
+@pytest.mark.parametrize("transport", ["shm", "pipe"])
 @pytest.mark.parametrize("columnar", [True, False], ids=["columnar", "objects"])
-def test_mixed_traffic_crosses_the_pipe_bit_identically(columnar):
+def test_mixed_traffic_crosses_the_transport_bit_identically(columnar, transport):
     rank_main = quiescence_rank_main()
     serial = YgmWorld(
         4, scheme="nlnr", seed=3, cores_per_node=2, columnar=columnar
     ).run(rank_main)
     engine = PdesWorld(
-        4, scheme="nlnr", seed=3, cores_per_node=2, columnar=columnar, workers=2
+        4, scheme="nlnr", seed=3, cores_per_node=2, columnar=columnar,
+        workers=2, transport=transport,
     )
     parallel = engine.run(rank_main)
     assert_equivalent(parallel, serial)
-    # Real batches crossed the pipe; the equivalence was not vacuous.
+    # Real batches crossed the transport; the equivalence was not vacuous.
     assert engine.exported_packets > 0

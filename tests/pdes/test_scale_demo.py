@@ -1,0 +1,40 @@
+"""The Quartz-scale demo shape, test-sized (satellite: scale demo).
+
+``examples/pdes_quartz_scale.py`` runs the full 1024-node / 10^7-message
+halo exchange; this battery entry proves the same *shape* -- hundreds
+of nodes, a million-message halo exchange, adaptive window batching --
+completes partitioned with bit-identical stats, every run, in the
+``pdes_slow`` tier.
+"""
+
+import pytest
+
+from repro.core.context import YgmWorld
+from repro.machine import bench_machine
+from repro.pdes import PdesWorld, assert_equivalent
+
+pytestmark = pytest.mark.pdes_slow
+
+
+def test_halo_exchange_at_scale_is_bit_identical():
+    import importlib.util
+    from pathlib import Path
+
+    spec = importlib.util.spec_from_file_location(
+        "pdes_quartz_scale",
+        Path(__file__).parents[2] / "examples" / "pdes_quartz_scale.py",
+    )
+    demo = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(demo)
+
+    nodes, msgs_per_rank = 256, 4000  # ~1.0M messages
+    machine = bench_machine(nodes, cores_per_node=1)
+    rank_main = demo.make_halo(msgs_per_rank)
+    serial = YgmWorld(machine, scheme="nlnr", seed=0).run(rank_main)
+    engine = PdesWorld(machine, scheme="nlnr", seed=0, workers=2)
+    parallel = engine.run(rank_main)
+    assert_equivalent(parallel, serial)
+    assert parallel.values == serial.values
+    assert sum(parallel.values) == nodes * msgs_per_rank
+    assert engine.exported_packets > 0
+    assert engine.max_window_batch > 1  # adaptive K engaged at scale

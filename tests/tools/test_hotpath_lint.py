@@ -63,6 +63,64 @@ def test_attribute_qualified_construction_is_caught(tmp_path):
     assert (qual, name) == ("flush", "P2PEntry")
 
 
+def _write_pdes_tree(tmp_path, wire_src):
+    root = tmp_path / "repo"
+    pkg = root / "src" / "repro" / "pdes"
+    pkg.mkdir(parents=True)
+    (pkg / "wire.py").write_text(wire_src)
+    return root
+
+
+def test_flags_pickle_import_in_pdes_export_path(tmp_path):
+    root = _write_pdes_tree(tmp_path, "import pickle\n")
+    ((_f, _line, qual, what),) = hotpath_lint.lint(root)
+    assert (qual, what) == ("<module>", "import pickle")
+
+
+def test_flags_pickle_dumps_call_in_pdes_export_path(tmp_path):
+    root = _write_pdes_tree(
+        tmp_path,
+        "def encode_batch(exports, out):\n"
+        "    out += pickle.dumps(exports)\n",
+    )
+    ((_f, _line, qual, what),) = hotpath_lint.lint(root)
+    assert (qual, what) == ("encode_batch", "pickle.dumps")
+
+
+def test_flags_from_pickle_import_and_cpickle_alias(tmp_path):
+    root = _write_pdes_tree(
+        tmp_path,
+        "from pickle import dumps\nimport _pickle as fast\n",
+    )
+    whats = sorted(what for _f, _line, _q, what in hotpath_lint.lint(root))
+    assert whats == ["from pickle import ...", "import _pickle"]
+
+
+def test_pickle_rule_ignores_files_outside_export_path(tmp_path):
+    # engine of another package: pickle is fine elsewhere in the tree
+    root = tmp_path / "repo"
+    pkg = root / "src" / "repro" / "exec"
+    pkg.mkdir(parents=True)
+    (pkg / "pool.py").write_text("import pickle\n")
+    assert hotpath_lint.lint(root) == []
+
+
+def test_cli_reports_pickle_violation(tmp_path):
+    root = _write_pdes_tree(tmp_path, "import pickle\n")
+    proc = subprocess.run(
+        [
+            sys.executable,
+            str(REPO / "tools" / "hotpath_lint.py"),
+            "--root",
+            str(root),
+        ],
+        capture_output=True,
+        text=True,
+    )
+    assert proc.returncode == 1
+    assert "pickle-free" in proc.stderr
+
+
 def test_cli_reports_violations_and_exits_nonzero(tmp_path):
     root = _write_tree(
         tmp_path,

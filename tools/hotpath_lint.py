@@ -11,6 +11,16 @@ layers, constructing one silently reintroduces the per-message
 allocation cost the columnar refactor removed -- results stay correct,
 so only this lint catches the regression.
 
+PR 8 added a second rule for the PDES export path: the shared-memory
+ring transport (``repro.pdes.rings`` / ``wire`` / ``worker`` /
+``engine``) moves export batches through the serde-based columnar wire
+codec, and ``pickle`` must never reappear there -- no ``import pickle``
+and no ``pickle.dumps`` / ``pickle.loads`` calls.  (The legacy pipe
+transport pickles *implicitly* through ``Connection.send``, which is
+fine; an explicit ``pickle`` use in these modules means someone put a
+Python-object serializer back on the hot path.)  Results stay
+bit-identical either way, so again only this lint catches it.
+
 Usage::
 
     python tools/hotpath_lint.py [--root PATH]
@@ -41,6 +51,15 @@ ALLOWED_SITES = {
     ("src/repro/core/mailbox.py", "Mailbox.post_bcast"),
     ("src/repro/core/mailbox.py", "Mailbox._handle_packet"),
 }
+
+#: PDES export-path files where ``pickle`` must never appear (the ring
+#: transport serializes through :mod:`repro.pdes.wire` instead).
+PICKLE_FREE_FILES = (
+    "src/repro/pdes/rings.py",
+    "src/repro/pdes/wire.py",
+    "src/repro/pdes/worker.py",
+    "src/repro/pdes/engine.py",
+)
 
 
 def _call_name(node: ast.Call) -> str:
@@ -78,9 +97,54 @@ class _HotPathVisitor(ast.NodeVisitor):
         self.generic_visit(node)
 
 
+class _PickleVisitor(ast.NodeVisitor):
+    """Flags any route to the pickle serializer: imports and attribute use."""
+
+    _MODULES = {"pickle", "cPickle", "_pickle"}
+
+    def __init__(self, relpath: str) -> None:
+        self.relpath = relpath
+        self.stack: list[str] = []
+        self.violations: list[tuple[str, int, str, str]] = []
+
+    def _scoped(self, node) -> None:
+        self.stack.append(node.name)
+        self.generic_visit(node)
+        self.stack.pop()
+
+    visit_ClassDef = _scoped
+    visit_FunctionDef = _scoped
+    visit_AsyncFunctionDef = _scoped
+
+    def _flag(self, node, what: str) -> None:
+        qualname = ".".join(self.stack) or "<module>"
+        self.violations.append((self.relpath, node.lineno, qualname, what))
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            if alias.name.split(".")[0] in self._MODULES:
+                self._flag(node, f"import {alias.name}")
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module and node.module.split(".")[0] in self._MODULES:
+            self._flag(node, f"from {node.module} import ...")
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        if isinstance(node.value, ast.Name) and node.value.id in self._MODULES:
+            self._flag(node, f"{node.value.id}.{node.attr}")
+        self.generic_visit(node)
+
+
 def lint_file(path: Path, relpath: str) -> list[tuple[str, int, str, str]]:
     tree = ast.parse(path.read_text(), filename=str(path))
     visitor = _HotPathVisitor(relpath)
+    visitor.visit(tree)
+    return visitor.violations
+
+
+def lint_pickle_free(path: Path, relpath: str) -> list[tuple[str, int, str, str]]:
+    tree = ast.parse(path.read_text(), filename=str(path))
+    visitor = _PickleVisitor(relpath)
     visitor.visit(tree)
     return visitor.violations
 
@@ -91,6 +155,10 @@ def lint(root: Path) -> list[tuple[str, int, str, str]]:
         path = root / rel
         if path.exists():
             violations.extend(lint_file(path, rel))
+    for rel in PICKLE_FREE_FILES:
+        path = root / rel
+        if path.exists():
+            violations.extend(lint_pickle_free(path, rel))
     return violations
 
 
@@ -104,15 +172,25 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
     violations = lint(Path(args.root))
     for relpath, lineno, qualname, name in violations:
-        print(
-            f"{relpath}:{lineno}: {name}() constructed in {qualname} -- "
-            f"the columnar fast path must not allocate per-message entry "
-            f"objects (allowed only at handler boundaries: "
-            f"{', '.join(sorted(q for _, q in ALLOWED_SITES))})",
-            file=sys.stderr,
-        )
+        if "pickle" in name:
+            print(
+                f"{relpath}:{lineno}: {name} in {qualname} -- the PDES "
+                f"export path must stay pickle-free (encode through "
+                f"repro.pdes.wire; the pipe fallback pickles implicitly "
+                f"via Connection.send)",
+                file=sys.stderr,
+            )
+        else:
+            print(
+                f"{relpath}:{lineno}: {name}() constructed in {qualname} -- "
+                f"the columnar fast path must not allocate per-message entry "
+                f"objects (allowed only at handler boundaries: "
+                f"{', '.join(sorted(q for _, q in ALLOWED_SITES))})",
+                file=sys.stderr,
+            )
     if not violations:
-        print(f"hotpath lint: OK ({len(HOT_FILES)} files)")
+        nfiles = len(HOT_FILES) + len(PICKLE_FREE_FILES)
+        print(f"hotpath lint: OK ({nfiles} files)")
     return 1 if violations else 0
 
 
