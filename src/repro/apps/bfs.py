@@ -21,6 +21,7 @@ from typing import Callable, Generator, List, Optional
 import numpy as np
 
 from ..core.context import YgmContext
+from ..core.routing.combiner import Combiner
 from ..graph.generators import EdgeStream
 from ..graph.partition import CyclicPartition
 from ..serde import RecordSpec
@@ -29,6 +30,15 @@ from ..serde import RecordSpec
 BFS_SPEC = RecordSpec("bfs", [("vertex", "u8"), ("dist", "u8")])
 #: Edge-distribution record for building the local adjacency.
 ADJ_SPEC = RecordSpec("bfs_adj", [("src", "u8"), ("dst", "u8")])
+
+#: Min-relax combining for the traversal mailbox: distance updates for
+#: one vertex collapse to the smallest (idempotent min over ints --
+#: bit-exact; ``dist[v] = min(dist[v], d)`` commutes with the merge).
+#: The adjacency-distribution mailbox must NOT combine: duplicate edges
+#: there are real payload, not redundant updates.
+BFS_COMBINER = Combiner(
+    "bfs_min_relax", key_fields=("vertex",), reduce_fields={"dist": "min"}
+)
 
 #: "Unreached" sentinel (fits in u8 arithmetic with headroom).
 UNREACHED = np.iinfo(np.int64).max // 4
@@ -39,11 +49,14 @@ def make_bfs(
     source: int,
     batch_size: int = 8192,
     capacity: Optional[int] = None,
+    combining: bool = False,
 ) -> Callable[[YgmContext], Generator]:
     """Build the async-BFS rank program for ``stream`` from ``source``.
 
     Returns each rank's hop-distance array for its owned vertices
     (``UNREACHED`` for vertices not connected to the source).
+    ``combining=True`` merges equal-vertex distance updates to their min
+    in-network (:data:`BFS_COMBINER`); final distances are bit-identical.
     """
     if not 0 <= source < stream.num_vertices:
         raise ValueError(f"source {source} out of range")
@@ -125,7 +138,11 @@ def make_bfs(
                 spec=BFS_SPEC,
             )
 
-        mb = ctx.mailbox(recv_batch=relax, capacity=capacity)
+        mb = ctx.mailbox(
+            recv_batch=relax,
+            capacity=capacity,
+            combiner=BFS_COMBINER if combining else None,
+        )
         if part.owner(source) == rank:
             lid = part.local_id(source)
             dist[lid] = 0

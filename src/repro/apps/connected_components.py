@@ -31,6 +31,7 @@ from typing import Callable, Generator, List, Optional
 import numpy as np
 
 from ..core.context import YgmContext
+from ..core.routing.combiner import Combiner
 from ..graph.delegates import DelegateSet
 from ..graph.generators import EdgeStream
 from ..graph.partition import CyclicPartition
@@ -38,6 +39,15 @@ from ..serde import RecordSpec
 
 #: Label-update message: set ``label(vertex) = min(label(vertex), label)``.
 CC_SPEC = RecordSpec("cc_label", [("vertex", "u8"), ("label", "u8")])
+
+#: Min-union combining: label updates for one vertex collapse to the
+#: smallest.  ``min`` is associative, commutative *and* idempotent over
+#: vertex ids, so combined runs converge to bit-identical labels -- a
+#: vertex's label after a pass is the min over all updates it would have
+#: seen, whether they merged mid-route or at the receive callback.
+CC_COMBINER = Combiner(
+    "cc_min_label", key_fields=("vertex",), reduce_fields={"label": "min"}
+)
 #: Edge-distribution message: kind 0 = plain directed edge (src owns the
 #: label to ship, dst receives updates); kind 1 = colocated delegate edge
 #: (src non-delegate, dst delegate).
@@ -62,11 +72,19 @@ def make_connected_components(
     batch_size: int = 8192,
     capacity: Optional[int] = None,
     max_passes: int = 200,
+    combining: bool = False,
 ) -> Callable[[YgmContext], Generator]:
     """Build the CC rank program.
 
     ``delegate_threshold``: vertices with degree strictly above it become
     delegates; ``None`` disables delegates entirely (no broadcasts).
+
+    ``combining=True`` attaches :data:`CC_COMBINER` to the label-update
+    mailbox: equal-vertex updates collapse to their min in-network.  The
+    per-pass ``changed`` flag is preserved exactly -- it ends ``True``
+    iff some owned label decreased during the pass, which is invariant
+    under merging (the min of the merged updates decreases a label iff
+    some individual update would have).  Final labels are bit-identical.
     """
 
     def rank_main(ctx: YgmContext) -> Generator:
@@ -200,7 +218,11 @@ def make_connected_components(
                 del_labels[slot] = label
                 changed[0] = True
 
-        label_mb = ctx.mailbox(recv_batch=on_label, capacity=capacity)
+        label_mb = ctx.mailbox(
+            recv_batch=on_label,
+            capacity=capacity,
+            combiner=CC_COMBINER if combining else None,
+        )
         sync_mb = ctx.mailbox(
             recv=on_sync, recv_bcast=on_sync_bcast, capacity=capacity
         )

@@ -22,6 +22,7 @@ from typing import Callable, Generator, Optional
 import numpy as np
 
 from ..core.context import YgmContext
+from ..core.routing.combiner import Combiner
 from ..graph.generators import EdgeStream
 from ..graph.partition import CyclicPartition
 from ..serde import RecordSpec
@@ -29,17 +30,34 @@ from ..serde import RecordSpec
 #: The single-field message of Algorithm 1: a vertex id to increment.
 DEGREE_SPEC = RecordSpec("degree", [("vertex", "u8")])
 
+#: Count-carrying variant for in-network combining: an increment of
+#: ``count`` (1 at injection; intermediaries sum equal-vertex records).
+DEGREE_COUNT_SPEC = RecordSpec("degree_count", [("vertex", "u8"), ("count", "u8")])
+
+#: The degree-count combining algebra: counts for one vertex sum.
+#: Integer addition is exact, so combined runs stay bit-identical.
+DEGREE_COMBINER = Combiner(
+    "degree_count", key_fields=("vertex",), reduce_fields={"count": "sum"}
+)
+
 
 def make_degree_counting(
     stream: EdgeStream,
     batch_size: int = 4096,
     capacity: Optional[int] = None,
+    combining: bool = False,
 ) -> Callable[[YgmContext], Generator]:
     """Build the degree-counting rank program for ``stream``.
 
     Each rank generates its share of the edge stream, sends both endpoint
     vertices to their owners, and waits for global quiescence.  Returns
     the rank's local degree array (indexed by local id).
+
+    With ``combining=True`` records carry an explicit increment count
+    (:data:`DEGREE_COUNT_SPEC`) and the mailbox merges equal-vertex
+    records in-network (:data:`DEGREE_COMBINER`): duplicate endpoints
+    collapse into one weighted record per hop window.  Results are
+    bit-identical either way -- integer sums commute exactly.
     """
 
     def rank_main(ctx: YgmContext) -> Generator:
@@ -47,11 +65,25 @@ def make_degree_counting(
         degrees = np.zeros(part.local_count(ctx.rank), dtype=np.int64)
         nlocal = len(degrees)
 
-        def on_batch(batch: np.ndarray) -> None:
-            ids = part.local_id_vec(batch["vertex"].astype(np.int64))
-            degrees[:] += np.bincount(ids, minlength=nlocal)
+        if combining:
 
-        mb = ctx.mailbox(recv_batch=on_batch, capacity=capacity)
+            def on_batch(batch: np.ndarray) -> None:
+                ids = part.local_id_vec(batch["vertex"].astype(np.int64))
+                # Weighted scatter-add stays integer-exact (bincount's
+                # weights= would round-trip through float64).
+                np.add.at(degrees, ids, batch["count"].astype(np.int64))
+
+            mb = ctx.mailbox(
+                recv_batch=on_batch, capacity=capacity, combiner=DEGREE_COMBINER
+            )
+        else:
+
+            def on_batch(batch: np.ndarray) -> None:
+                ids = part.local_id_vec(batch["vertex"].astype(np.int64))
+                degrees[:] += np.bincount(ids, minlength=nlocal)
+
+            mb = ctx.mailbox(recv_batch=on_batch, capacity=capacity)
+        spec = DEGREE_COUNT_SPEC if combining else DEGREE_SPEC
         gen_cost = ctx.machine.config.compute.per_edge_gen
         for u, v in stream.batches(ctx.rank, batch_size):
             # Charge edge generation (isolated from counting in the paper;
@@ -59,8 +91,14 @@ def make_degree_counting(
             yield ctx.compute(len(u) * gen_cost)
             verts = np.concatenate((u, v))
             dests = part.owner_vec(verts)
-            batch = DEGREE_SPEC.build(vertex=verts.astype("u8"))
-            yield from mb.send_batch(dests, batch, spec=DEGREE_SPEC)
+            if combining:
+                batch = spec.build(
+                    vertex=verts.astype("u8"),
+                    count=np.ones(len(verts), dtype="u8"),
+                )
+            else:
+                batch = spec.build(vertex=verts.astype("u8"))
+            yield from mb.send_batch(dests, batch, spec=spec)
         yield from mb.wait_empty()
         return degrees
 

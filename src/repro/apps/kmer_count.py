@@ -21,10 +21,19 @@ from typing import Callable, Dict, Generator, List, Optional, Tuple
 import numpy as np
 
 from ..core.context import YgmContext
+from ..core.routing.combiner import Combiner
 from ..serde import RecordSpec
 
 #: A packed k-mer occurrence routed to its hash owner.
 KMER_SPEC = RecordSpec("kmer", [("kmer", "u8")])
+
+#: Count-carrying variant for in-network combining.
+KMER_COUNT_SPEC = RecordSpec("kmer_count", [("kmer", "u8"), ("count", "u8")])
+
+#: K-mer occurrence counts sum in-network (integer-exact).
+KMER_COMBINER = Combiner(
+    "kmer_count", key_fields=("kmer",), reduce_fields={"count": "sum"}
+)
 
 _BASES = np.frombuffer(b"ACGT", dtype="u1")
 
@@ -86,6 +95,7 @@ def make_kmer_counting(
     batch_size: int = 8192,
     capacity: Optional[int] = None,
     skew: float = 0.0,
+    combining: bool = False,
 ) -> Callable[[YgmContext], Generator]:
     """Build the k-mer counting rank program.
 
@@ -94,17 +104,35 @@ def make_kmer_counting(
     Returns ``(counts, frequent)`` per rank: the owner-side count table
     and the k-mers with count > ``frequent_threshold`` (HipMer's
     frequent-k-mer set).
+
+    With ``combining=True`` occurrences carry an explicit count
+    (:data:`KMER_COUNT_SPEC`) and equal k-mers merge in-network
+    (:data:`KMER_COMBINER`); counts are integer sums, so results are
+    bit-identical to the uncombined run.
     """
 
     def rank_main(ctx: YgmContext) -> Generator:
         counts: Dict[int, int] = {}
 
-        def on_batch(batch: np.ndarray) -> None:
-            uniq, cnt = np.unique(batch["kmer"], return_counts=True)
-            for km, c in zip(uniq.tolist(), cnt.tolist()):
-                counts[km] = counts.get(km, 0) + c
+        if combining:
 
-        mb = ctx.mailbox(recv_batch=on_batch, capacity=capacity)
+            def on_batch(batch: np.ndarray) -> None:
+                for km, c in zip(
+                    batch["kmer"].tolist(), batch["count"].tolist()
+                ):
+                    counts[km] = counts.get(km, 0) + c
+
+            mb = ctx.mailbox(
+                recv_batch=on_batch, capacity=capacity, combiner=KMER_COMBINER
+            )
+        else:
+
+            def on_batch(batch: np.ndarray) -> None:
+                uniq, cnt = np.unique(batch["kmer"], return_counts=True)
+                for km, c in zip(uniq.tolist(), cnt.tolist()):
+                    counts[km] = counts.get(km, 0) + c
+
+            mb = ctx.mailbox(recv_batch=on_batch, capacity=capacity)
         gen_cost = ctx.machine.config.compute.per_edge_gen
         reads = random_reads(n_reads_per_rank, read_len, ctx.rng, skew=skew)
         kmers = shear_kmers(reads, k)
@@ -112,6 +140,16 @@ def make_kmer_counting(
         owners = kmer_owner(kmers, ctx.nranks)
         for lo in range(0, len(kmers), batch_size):
             hi = lo + batch_size
+            if combining:
+                seg = kmers[lo:hi]
+                yield from mb.send_batch(
+                    owners[lo:hi],
+                    KMER_COUNT_SPEC.build(
+                        kmer=seg, count=np.ones(len(seg), dtype="u8")
+                    ),
+                    spec=KMER_COUNT_SPEC,
+                )
+                continue
             yield from mb.send_batch(
                 owners[lo:hi],
                 KMER_SPEC.build(kmer=kmers[lo:hi]),

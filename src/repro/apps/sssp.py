@@ -17,6 +17,7 @@ from typing import Callable, Generator, List, Optional
 import numpy as np
 
 from ..core.context import YgmContext
+from ..core.routing.combiner import Combiner
 from ..graph.generators import EdgeStream
 from ..graph.partition import CyclicPartition
 from ..serde import RecordSpec
@@ -25,6 +26,16 @@ from ..serde import RecordSpec
 SSSP_SPEC = RecordSpec("sssp", [("vertex", "u8"), ("dist", "f8")])
 #: Weighted-edge distribution record.
 WADJ_SPEC = RecordSpec("sssp_adj", [("src", "u8"), ("dst", "u8"), ("w", "f8")])
+
+#: Min-relax combining over float distances.  Still *bit-exact*: ``min``
+#: selects one of the original values rather than computing a new one,
+#: and a dominated tentative distance stays dominated through any later
+#: additions (``d1 <= d2`` implies ``d1 + w <= d2 + w`` in IEEE-754 with
+#: round-to-nearest monotonicity), so dropping it cannot change the
+#: converged distances.
+SSSP_COMBINER = Combiner(
+    "sssp_min_relax", key_fields=("vertex",), reduce_fields={"dist": "min"}
+)
 
 #: "Unreached" distance.
 INF = np.inf
@@ -48,8 +59,14 @@ def make_sssp(
     batch_size: int = 8192,
     capacity: Optional[int] = None,
     weight_seed: int = 0,
+    combining: bool = False,
 ) -> Callable[[YgmContext], Generator]:
-    """Build the async-SSSP rank program; returns per-rank distances."""
+    """Build the async-SSSP rank program; returns per-rank distances.
+
+    ``combining=True`` merges equal-vertex relaxations to their min
+    in-network (:data:`SSSP_COMBINER`); converged distances are
+    bit-identical (min selects, it never rounds).
+    """
     if not 0 <= source < stream.num_vertices:
         raise ValueError(f"source {source} out of range")
 
@@ -131,7 +148,11 @@ def make_sssp(
                 spec=SSSP_SPEC,
             )
 
-        mb = ctx.mailbox(recv_batch=relax, capacity=capacity)
+        mb = ctx.mailbox(
+            recv_batch=relax,
+            capacity=capacity,
+            combiner=SSSP_COMBINER if combining else None,
+        )
         if part.owner(source) == rank:
             lid = part.local_id(source)
             dist[lid] = 0.0

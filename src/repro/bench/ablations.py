@@ -10,7 +10,10 @@ way they do:
 * eager-threshold sweep -- sensitivity to the protocol switch,
 * NLNR vs hybrid NLNR -- the Section VII MPI+threads projection,
 * straggler imbalance -- YGM's pseudo-asynchrony vs the BSP baseline
-  (the introduction's motivating scenario).
+  (the introduction's motivating scenario),
+* in-network combining -- combining ratio vs achieved speedup across
+  key-space concentrations and routing schemes (the NAPSpMV-style
+  aggregation PR 9 adds).
 
 All sweeps share one parametrized degree-counting cell
 (:func:`degree_cell`); the straggler comparison has its own cells.
@@ -24,10 +27,10 @@ from typing import Optional, Sequence
 
 import numpy as np
 
-from ..apps import make_degree_counting
+from ..apps import make_connected_components, make_degree_counting
 from ..baselines import make_bsp_degree_counting
 from ..exec import Job, Pool, run_jobs
-from ..graph import er_stream
+from ..graph import er_stream, rmat_stream
 from ..machine import bench_machine
 from .harness import SweepConfig, run_mpi, run_ygm
 from .report import Table
@@ -398,5 +401,164 @@ def run_straggler_comparison(
     table.note(
         "avg_work_done_others: mean time non-straggler ranks finished their "
         "own sends; BSP couples it to the straggler, YGM does not"
+    )
+    return table
+
+
+def combining_cell(
+    *,
+    app: str,
+    nodes: int,
+    cores: int,
+    scheme: str,
+    capacity: int,
+    batch_size: int,
+    edges_per_rank: int,
+    num_vertices: int,
+    seed: int,
+    combining: bool,
+) -> dict:
+    """One combining-ablation run (degree counting or CC), with the
+    message-reduction counters the sweep derives its ratios from."""
+    if app == "degree_count":
+        stream = er_stream(
+            num_vertices=num_vertices, edges_per_rank=edges_per_rank, seed=seed
+        )
+        make = make_degree_counting(
+            stream, batch_size=batch_size, capacity=capacity,
+            combining=combining,
+        )
+    elif app == "connected_components":
+        stream = rmat_stream(
+            num_vertices.bit_length() - 1, edges_per_rank, seed=seed
+        )
+        # Delegate only the most extreme hubs: everything below travels
+        # the point-to-point mailbox the combiner attaches to, which is
+        # where combining competes with (rather than duplicates) the
+        # delegate mechanism for hub-update pressure.
+        mean_degree = (
+            2.0 * edges_per_rank * nodes * cores / stream.num_vertices
+        )
+        make = make_connected_components(
+            stream,
+            delegate_threshold=16.0 * mean_degree,
+            batch_size=batch_size,
+            capacity=capacity,
+            combining=combining,
+        )
+    else:
+        raise ValueError(f"unknown combining-ablation app {app!r}")
+    res = run_ygm(
+        make, bench_machine(nodes, cores_per_node=cores), scheme, capacity,
+        seed=seed,
+    )
+    stats = res.mailbox_stats
+    return {
+        "seconds": res.elapsed,
+        "entries_forwarded": stats.entries_forwarded,
+        "remote_bytes": stats.remote_bytes_sent,
+        "entries_combined": stats.entries_combined,
+        "app_messages_sent": stats.app_messages_sent,
+    }
+
+
+def run_combining_sweep(
+    nodes: int = 4,
+    cores: int = 4,
+    capacity: int = 2**8,
+    edges_per_rank: int = 2**11,
+    schemes: Sequence[str] = ("nlnr", "node_aware"),
+    seed: int = 0,
+    pool: Optional[Pool] = None,
+) -> Table:
+    """Combining ratio vs achieved speedup (the PR 9 ablation).
+
+    The degree panels shrink the vertex set at a fixed edge count, so
+    the same traffic concentrates onto fewer keys: the fraction of
+    records the in-network combiner can eliminate (``combine_ratio``)
+    rises across the rows, and with it the forwarded-entry and wire-byte
+    reductions and the simulated-time speedup.  The CC panel is the
+    fig7-style RMAT workload, whose hub-skewed label updates combine
+    naturally.  Each row pairs a combining-off and a combining-on run of
+    the identical configuration.
+    """
+    nranks = nodes * cores
+    table = Table(
+        title=f"Ablation: in-network combining ratio vs speedup "
+        f"(N={nodes}, C={cores})",
+        columns=[
+            "app", "scheme", "verts", "combine_ratio",
+            "fwd_reduction", "wire_reduction", "speedup",
+        ],
+    )
+    # (app, num_vertices): degree panels sweep key concentration; the
+    # RMAT panel's vertex count picks the generator scale.
+    panels = [
+        ("degree_count", 16 * nranks),
+        ("degree_count", 64 * nranks),
+        ("degree_count", 256 * nranks),
+        ("connected_components", 1024),
+    ]
+    grid = [
+        (app, verts, scheme, combining)
+        for app, verts in panels
+        for scheme in schemes
+        for combining in (False, True)
+    ]
+    cells = run_jobs(
+        [
+            Job(
+                fn="repro.bench.ablations:combining_cell",
+                kwargs=dict(
+                    app=app,
+                    nodes=nodes,
+                    cores=cores,
+                    scheme=scheme,
+                    capacity=capacity,
+                    batch_size=2**10,
+                    edges_per_rank=edges_per_rank,
+                    num_vertices=verts,
+                    seed=seed,
+                    combining=combining,
+                ),
+                label=f"ablation combining {app}/{scheme}/v{verts}"
+                + ("/on" if combining else "/off"),
+            )
+            for app, verts, scheme, combining in grid
+        ],
+        pool,
+    )
+    by_key = {key: cell for key, cell in zip(grid, cells)}
+    for app, verts in panels:
+        for scheme in schemes:
+            off = by_key[(app, verts, scheme, False)]
+            on = by_key[(app, verts, scheme, True)]
+            posted = on["app_messages_sent"]
+            table.add(
+                app=app,
+                scheme=scheme,
+                verts=verts,
+                combine_ratio=(
+                    on["entries_combined"] / posted if posted else 0.0
+                ),
+                fwd_reduction=1.0
+                - (
+                    on["entries_forwarded"] / off["entries_forwarded"]
+                    if off["entries_forwarded"]
+                    else 1.0
+                ),
+                wire_reduction=1.0
+                - (
+                    on["remote_bytes"] / off["remote_bytes"]
+                    if off["remote_bytes"]
+                    else 1.0
+                ),
+                speedup=(
+                    off["seconds"] / on["seconds"] if on["seconds"] else 0.0
+                ),
+            )
+    table.note(
+        "combine_ratio: fraction of posted records merged away in-network; "
+        "speedup is simulated seconds, combining off/on"
     )
     return table

@@ -1,11 +1,14 @@
 """``python -m repro.bench --check``: the correctness-harness mode.
 
-Runs the two active pillars of :mod:`repro.check` and prints their
+Runs the active pillars of :mod:`repro.check` and prints their
 reports:
 
 1. the routing-differential oracle (every app under every routing
-   scheme, invariant-checked, against sequential references), and
-2. a schedule-fuzz campaign over the canonical mixed-traffic quiescence
+   scheme, invariant-checked, against sequential references),
+2. the same oracle at tiny scale with in-network combining enabled
+   (bit-exact algebras must stay cross-scheme bit-identical; combined
+   SpMV is tolerance-verified), and
+3. a schedule-fuzz campaign over the canonical mixed-traffic quiescence
    scenario (perturbed same-timestamp interleavings, invariants plus
    baseline-equality asserted per run).
 
@@ -43,6 +46,19 @@ def run_check(
     )
     print(report.render())
     ok &= report.ok
+
+    print()
+    print("with in-network combining (tiny scale):")
+    combined = run_oracle(
+        apps=apps,
+        scales=["tiny"] if scales is None else scales,
+        seed=seed,
+        pool=pool,
+        pdes_workers=pdes_workers,
+        combining=True,
+    )
+    print(combined.render())
+    ok &= combined.ok
 
     print()
     fuzz = fuzz_schedules_sharded(

@@ -62,7 +62,7 @@ from ..exec import Pool
 from .harness import SweepConfig
 
 FIGS = ["5", "6a", "6b", "7a", "7b", "8a", "8c", "8d"]
-ABLATIONS = ["capacity", "cores", "eager", "hybrid", "straggler"]
+ABLATIONS = ["capacity", "combining", "cores", "eager", "hybrid", "straggler"]
 
 
 def run_figure(
@@ -93,6 +93,8 @@ def run_figure(
         return [fig8.run_strong_webgraph(sweep, pool=pool, pdes_workers=pw)]
     if fig == "capacity":
         return [ablations.run_capacity_sweep(pool=pool)]
+    if fig == "combining":
+        return [ablations.run_combining_sweep(pool=pool)]
     if fig == "cores":
         return [ablations.run_cores_sweep(pool=pool)]
     if fig == "eager":

@@ -50,10 +50,12 @@ class SweepConfig:
 
 def schemes_for(nodes: int, cores: int, schemes: Iterable[str] = PAPER_SCHEMES) -> List[str]:
     """The paper ran NLNR only once a layer roughly fills (>= C nodes,
-    Section VI): below that its remote channels degenerate."""
+    Section VI): below that its remote channels degenerate.  ``adaptive``
+    embeds an NLNR fallback for its congested branch, so it is gated the
+    same way; ``node_aware`` has no such constraint."""
     out = []
     for s in schemes:
-        if s.startswith("nlnr") and nodes < cores:
+        if (s.startswith("nlnr") or s == "adaptive") and nodes < cores:
             continue
         out.append(s)
     return out

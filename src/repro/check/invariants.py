@@ -16,9 +16,9 @@ simulation without instrumenting application code.  The invariants:
 * **nothing left behind** -- at finalize the unexpected-message queues
   and all subscribed traffic-class stores are drained;
 * **conservation** -- over a completed run, application messages posted
-  equal messages delivered, each broadcast was delivered to exactly
-  ``nranks - 1`` ranks, and transport entries sent equal entries
-  received.
+  equal messages delivered plus messages eliminated by in-network
+  combining, each broadcast was delivered to exactly ``nranks - 1``
+  ranks, and transport entries sent equal entries received.
 
 Violations raise :class:`InvariantViolation` (an ``AssertionError``
 subclass) at the moment of detection, so a failing schedule-fuzzer seed
@@ -218,11 +218,19 @@ class InvariantChecker:
         """Global message-conservation checks over a completed run."""
         stats = result.mailbox_stats
         nranks = len(result.per_rank_stats)
-        if stats.app_messages_sent != stats.app_messages_delivered:
+        # In-network combining legitimately collapses posted records
+        # mid-route; every merged-away record is tallied exactly once in
+        # ``entries_combined``, so the conserved quantity is
+        # posted == delivered + combined (combined == 0 without a combiner).
+        if (
+            stats.app_messages_sent
+            != stats.app_messages_delivered + stats.entries_combined
+        ):
             self._fail(
                 f"application messages not conserved: posted "
                 f"{stats.app_messages_sent}, delivered "
-                f"{stats.app_messages_delivered}"
+                f"{stats.app_messages_delivered} + combined "
+                f"{stats.entries_combined}"
             )
         expected = stats.bcasts_initiated * max(0, nranks - 1)
         if expected != stats.bcast_deliveries:

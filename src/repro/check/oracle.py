@@ -1,8 +1,9 @@
 """Routing-differential oracle: every app x every scheme x references.
 
 For each application and graph scale, the oracle runs the distributed
-YGM program under all four routing policies (``noroute``,
-``node_local``, ``node_remote``, ``nlnr``) with full invariant checking
+YGM program under all six routing policies (``noroute``,
+``node_local``, ``node_remote``, ``nlnr``, ``node_aware``,
+``adaptive``) with full invariant checking
 (:mod:`repro.check.invariants`) and asserts that
 
 1. every scheme's gathered global output is **bit-identical** to every
@@ -11,6 +12,13 @@ YGM program under all four routing policies (``noroute``,
    (:mod:`repro.check.sequential`) -- bit-exactly for the integer and
    fixpoint apps, within tight tolerance for SpMV (whose distributed
    float-sum decomposition a sequential pass cannot replicate).
+
+``combining=True`` re-runs the sweep with each app's in-network
+combiner enabled (:mod:`repro.core.routing.combiner`): the integer and
+min-relax algebras remain bit-exact and cross-scheme bit-identical,
+while combined SpMV -- whose windowed partial sums are rounding-order
+dependent -- is verified to tolerance only and excluded from the
+cross-scheme digest comparison.
 
 Run it from the benchmark CLI as ``python -m repro.bench --check`` or
 programmatically via :func:`run_oracle`.
@@ -34,6 +42,7 @@ from ..apps.degree_count import gather_global_degrees, make_degree_counting
 from ..apps.kmer_count import make_kmer_counting, merge_counts
 from ..apps.sssp import gather_global_sssp, make_sssp
 from ..bench.harness import schemes_for
+from ..core.routing import EXTENDED_SCHEMES
 from ..graph.delegates import DelegateSet
 from ..graph.generators import er_stream, rmat_stream
 from ..linalg.spmv import gather_global_y, make_spmv, partition_spmv_problem
@@ -80,14 +89,19 @@ def _graph_sizes(scale: str) -> Tuple[int, int]:
     return {"tiny": (64, 40), "small": (128, 60)}[scale]
 
 
-def _build_case(app: str, scale: str, nranks: int, seed: int) -> _Case:
+def _build_case(
+    app: str, scale: str, nranks: int, seed: int, combining: bool = False
+) -> _Case:
     n, epr = _graph_sizes(scale)
     if app == "degree_count":
         stream = er_stream(n, epr, seed=seed + 7)
         return _Case(
             app,
             make=lambda: make_degree_counting(
-                stream, batch_size=_BATCH, capacity=_CAPACITY
+                stream,
+                batch_size=_BATCH,
+                capacity=_CAPACITY,
+                combining=combining,
             ),
             gather=lambda vals: gather_global_degrees(vals, n, nranks),
             reference=lambda: sequential.ref_degrees(stream, nranks),
@@ -104,6 +118,7 @@ def _build_case(app: str, scale: str, nranks: int, seed: int) -> _Case:
                 delegate_threshold=8.0,
                 batch_size=_BATCH,
                 capacity=_CAPACITY,
+                combining=combining,
             ),
             gather=lambda vals: gather_global_labels(vals, nv, nranks),
             reference=lambda: sequential.ref_connected_components(
@@ -115,7 +130,11 @@ def _build_case(app: str, scale: str, nranks: int, seed: int) -> _Case:
         return _Case(
             app,
             make=lambda: make_bfs(
-                stream, source=0, batch_size=_BATCH, capacity=_CAPACITY
+                stream,
+                source=0,
+                batch_size=_BATCH,
+                capacity=_CAPACITY,
+                combining=combining,
             ),
             gather=lambda vals: gather_global_distances(vals, n, nranks),
             reference=lambda: sequential.ref_bfs(stream, 0, nranks),
@@ -130,6 +149,7 @@ def _build_case(app: str, scale: str, nranks: int, seed: int) -> _Case:
                 batch_size=_BATCH,
                 capacity=_CAPACITY,
                 weight_seed=seed + 3,
+                combining=combining,
             ),
             gather=lambda vals: gather_global_sssp(vals, n, nranks),
             reference=lambda: sequential.ref_sssp(
@@ -162,7 +182,10 @@ def _build_case(app: str, scale: str, nranks: int, seed: int) -> _Case:
         return _Case(
             app,
             make=lambda: make_kmer_counting(
-                batch_size=_BATCH, capacity=_CAPACITY, **params
+                batch_size=_BATCH,
+                capacity=_CAPACITY,
+                combining=combining,
+                **params,
             ),
             gather=gather_kmer,
             reference=ref_kmer,
@@ -186,7 +209,10 @@ def _build_case(app: str, scale: str, nranks: int, seed: int) -> _Case:
         return _Case(
             app,
             make=lambda: make_spmv(
-                problems, batch_size=_BATCH, capacity=_CAPACITY
+                problems,
+                batch_size=_BATCH,
+                capacity=_CAPACITY,
+                combining=combining,
             ),
             gather=lambda vs: gather_global_y(vs, n, nranks),
             reference=lambda: sequential.ref_spmv(n, rows, cols, vals, x),
@@ -234,7 +260,13 @@ def canonical_digest(obj: Any) -> str:
 
 
 def oracle_cell(
-    *, app: str, scale: str, scheme: str, seed: int, pdes_workers: int = 0
+    *,
+    app: str,
+    scale: str,
+    scheme: str,
+    seed: int,
+    pdes_workers: int = 0,
+    combining: bool = False,
 ) -> dict:
     """One (app, scale, scheme) oracle run, self-contained for a worker.
 
@@ -249,10 +281,15 @@ def oracle_cell(
     equivalent to the serial one (:func:`~repro.pdes.assert_equivalent`:
     timestamps, stats and gathered values all match), turning every
     oracle cell into a serial-vs-parallel differential test.
+
+    ``combining=True`` enables the app's in-network combiner.  A
+    combined tolerance-verified app (SpMV) returns ``digest=None``:
+    its windowed partial sums are rounding-order dependent, so
+    cross-scheme bit-identity is not a claim it makes.
     """
     nodes, cores = ORACLE_SCALES[scale]
     machine = bench_machine(nodes, cores_per_node=cores)
-    case = _build_case(app, scale, machine.nranks, seed)
+    case = _build_case(app, scale, machine.nranks, seed, combining=combining)
     try:
         result, _ = run_checked(machine, case.make(), scheme=scheme, seed=seed)
         out = case.gather(result.values)
@@ -288,7 +325,8 @@ def oracle_cell(
             f"max |delta| = {np.abs(out - ref).max():.3e} "
             "vs sequential reference"
         )
-    return {"ok": ok, "detail": detail, "digest": canonical_digest(out)}
+    digest = None if (combining and not case.exact) else canonical_digest(out)
+    return {"ok": ok, "detail": detail, "digest": digest}
 
 
 @dataclass
@@ -349,7 +387,9 @@ def _case_grid(
     for scale in scales:
         nodes, cores = ORACLE_SCALES[scale]
         run_schemes = (
-            tuple(schemes) if schemes else tuple(schemes_for(nodes, cores))
+            tuple(schemes)
+            if schemes
+            else tuple(schemes_for(nodes, cores, EXTENDED_SCHEMES))
         )
         for app in apps:
             grid.append((scale, app, run_schemes))
@@ -364,6 +404,7 @@ def run_oracle(
     tiebreaker=None,
     pool=None,
     pdes_workers: int = 0,
+    combining: bool = False,
 ) -> OracleReport:
     """Run the differential oracle; see the module docstring.
 
@@ -386,7 +427,7 @@ def run_oracle(
     start = time.perf_counter()
     if tiebreaker is not None:
         _run_oracle_perturbed(
-            report, apps, scales, schemes, seed, tiebreaker
+            report, apps, scales, schemes, seed, tiebreaker, combining
         )
         report.elapsed = time.perf_counter() - start
         return report
@@ -403,8 +444,10 @@ def run_oracle(
                 scheme=scheme,
                 seed=seed,
                 pdes_workers=pdes_workers,
+                combining=combining,
             ),
-            label=f"oracle {app}/{scale}/{scheme}",
+            label=f"oracle {app}/{scale}/{scheme}"
+            + ("/combining" if combining else ""),
         )
         for scale, app, run_schemes in grid
         for scheme in run_schemes
@@ -445,12 +488,15 @@ def _run_oracle_perturbed(
     schemes: Optional[Sequence[str]],
     seed: int,
     tiebreaker,
+    combining: bool = False,
 ) -> None:
     """In-process oracle sweep under a custom kernel tiebreaker."""
     for scale, app, run_schemes in _case_grid(apps, scales, schemes):
         nodes, cores = ORACLE_SCALES[scale]
         machine = bench_machine(nodes, cores_per_node=cores)
-        case = _build_case(app, scale, machine.nranks, seed)
+        case = _build_case(
+            app, scale, machine.nranks, seed, combining=combining
+        )
         ref = case.reference()
         outputs: Dict[str, Any] = {}
         for scheme in run_schemes:
@@ -469,7 +515,8 @@ def _run_oracle_perturbed(
                                 f"invariant: {exc}")
                 )
                 continue
-            outputs[scheme] = out
+            if not (combining and not case.exact):
+                outputs[scheme] = out
             if case.exact:
                 ok = results_equal(out, ref)
                 detail = "" if ok else "differs from sequential reference"

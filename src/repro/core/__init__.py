@@ -6,9 +6,16 @@ This package is the reproduction of the paper's primary contribution
 
 from .coalescing import ENTRY_HEADER_BYTES, BatchEntry, BcastEntry, CoalescingBuffer, P2PEntry
 from .config import MailboxConfig
-from .context import YgmContext, YgmResult, YgmWorld
+from .context import Occupancy, YgmContext, YgmResult, YgmWorld
 from .mailbox import Mailbox
-from .routing import PAPER_SCHEMES, SCHEMES, RoutingScheme, get_scheme
+from .routing import (
+    EXTENDED_SCHEMES,
+    PAPER_SCHEMES,
+    SCHEMES,
+    Combiner,
+    RoutingScheme,
+    get_scheme,
+)
 from .stats import MailboxStats, aggregate
 from .termination import TerminationDetector, binomial_children, binomial_parent
 
@@ -16,10 +23,13 @@ __all__ = [
     "BatchEntry",
     "BcastEntry",
     "CoalescingBuffer",
+    "Combiner",
     "ENTRY_HEADER_BYTES",
+    "EXTENDED_SCHEMES",
     "Mailbox",
     "MailboxConfig",
     "MailboxStats",
+    "Occupancy",
     "P2PEntry",
     "PAPER_SCHEMES",
     "RoutingScheme",

@@ -3,6 +3,10 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (routing -> config)
+    from .routing.combiner import Combiner
 
 
 @dataclass(frozen=True)
@@ -22,10 +26,18 @@ class MailboxConfig:
     one-object-per-message path; the two are bit-identical in results and
     simulated time (pinned by ``tests/core/test_columnar.py``), so the
     flag exists for differential testing, not tuning.
+
+    ``combiner`` attaches an in-network combining algebra
+    (:class:`~repro.core.routing.combiner.Combiner`): mergeable batch
+    records with equal ``(destination, key)`` collapse during re-binning
+    -- at injection and at every forwarding hop -- before re-transmission.
+    ``None`` (the default) disables combining; results then match the
+    paper's pure re-binning schemes exactly.
     """
 
     capacity: int = 2**14
     columnar: bool = True
+    combiner: Optional["Combiner"] = None
 
     def __post_init__(self):
         if self.capacity < 1:

@@ -37,6 +37,26 @@ from .routing import RoutingScheme, get_scheme
 from .stats import MailboxStats, aggregate
 
 
+@dataclass(frozen=True)
+class Occupancy:
+    """Point-in-time runtime occupancy counters (``YgmContext.occupancy``).
+
+    ``nic_*_in_use`` are packets currently holding the node's NIC
+    resource, ``nic_*_queued`` the waiters behind them;
+    ``buffered_messages`` counts this rank's messages sitting in
+    coalescing buffers across all its mailboxes, and ``buffer_fill`` is
+    that count over the summed mailbox capacities (0.0 with no
+    mailboxes).
+    """
+
+    nic_tx_in_use: int
+    nic_tx_queued: int
+    nic_rx_in_use: int
+    nic_rx_queued: int
+    buffered_messages: int
+    buffer_fill: float
+
+
 class YgmContext:
     """What a YGM rank program receives.
 
@@ -95,6 +115,32 @@ class YgmContext:
         """Charge application CPU time: ``yield ctx.compute(t)``."""
         return self._mpi.compute(seconds)
 
+    # -- observability -------------------------------------------------------
+    def occupancy(self) -> "Occupancy":
+        """Cheap live occupancy counters for this rank's node.
+
+        A point-in-time snapshot of the signals adaptive policies (and
+        application-level backpressure) can key on: the node's NIC
+        transmit/receive occupancy (``in_use + queue_length`` of the
+        simulated :class:`~repro.sim.resources.Resource`) and this
+        rank's own coalescing-buffer fill.  Reading it never advances
+        simulated time and never perturbs the run.
+        """
+        machine = self._mpi.machine
+        node = self._mpi.node
+        tx = machine.nic_tx[node]
+        rx = machine.nic_rx[node]
+        buffered = sum(mb.queued for mb in self.mailboxes)
+        capacity = sum(mb.config.capacity for mb in self.mailboxes)
+        return Occupancy(
+            nic_tx_in_use=tx.in_use,
+            nic_tx_queued=tx.queue_length,
+            nic_rx_in_use=rx.in_use,
+            nic_rx_queued=rx.queue_length,
+            buffered_messages=buffered,
+            buffer_fill=(buffered / capacity) if capacity else 0.0,
+        )
+
     # -- tracing -------------------------------------------------------------
     @property
     def tracer(self):
@@ -121,18 +167,24 @@ class YgmContext:
         recv_bcast: Optional[Callable[[Any], None]] = None,
         capacity: Optional[int] = None,
         columnar: Optional[bool] = None,
+        combiner=None,
     ) -> Mailbox:
         """Create this rank's next mailbox (collective: same order everywhere).
 
         ``columnar`` overrides the struct-of-arrays hot-path toggle (see
         :class:`~repro.core.config.MailboxConfig`); the differential
-        tests pin the two paths bit-identical through it.
+        tests pin the two paths bit-identical through it.  ``combiner``
+        attaches an in-network combining algebra
+        (:class:`~repro.core.routing.combiner.Combiner`) for this
+        mailbox's batch records.
         """
         config = self.default_config
         if capacity is not None:
             config = config.with_overrides(capacity=capacity)
         if columnar is not None:
             config = config.with_overrides(columnar=columnar)
+        if combiner is not None:
+            config = config.with_overrides(combiner=combiner)
         mb = Mailbox(
             self,
             recv=recv,
@@ -208,6 +260,8 @@ class YgmWorld:
             scheme = get_scheme(scheme, machine.nodes, machine.cores_per_node)
         elif (scheme.nodes, scheme.cores) != (machine.nodes, machine.cores_per_node):
             raise ValueError("routing scheme shape does not match the machine")
+        # Adaptive schemes read live NIC occupancy; static schemes ignore this.
+        scheme.bind_machine(self.world.machine)
         self.scheme = scheme
         self.default_config = MailboxConfig(
             capacity=mailbox_capacity, columnar=columnar

@@ -88,6 +88,8 @@ class Mailbox:
         self._pool = ListPool()
         #: Columnar (struct-of-arrays) scalar-message hot path toggle.
         self._columnar = self.config.columnar
+        #: In-network combining algebra (``None`` = pure re-binning).
+        self._combiner = self.config.combiner
         self._queued = 0  # messages across all buffers
         self._pending_handle_cost = 0.0
         #: Forwards deferred while a mixed columnar run delivers (see
@@ -288,6 +290,13 @@ class Mailbox:
         ``stats.entries_forwarded``.  ``lins`` is the parallel lineage-id
         array when the causal profiler is enabled; it is masked, reordered
         and sliced in lock-step with ``dests``.
+
+        When the mailbox has a :class:`~repro.core.routing.combiner.
+        Combiner`, equal-``(dest, key)`` records collapse here -- at
+        injection and again at every forwarding hop -- *before* they are
+        counted as forwarded or queued for re-transmission (in-network
+        combining).  Merged-away records end their lineage at this rank;
+        they are tallied in ``stats.entries_combined``.
         """
         here = dests == self.rank
         if here.any():
@@ -298,6 +307,10 @@ class Mailbox:
                 lins = lins[~here]
             if len(dests) == 0:
                 return
+        comb = self._combiner
+        if comb is not None and len(dests) > 1:
+            dests, batch, lins, eliminated = comb.combine(dests, batch, lins)
+            self.stats.entries_combined += eliminated
         if not at_injection:
             self.stats.entries_forwarded += len(dests)
         hops, order, starts, ends = self.scheme.bin_by_hop(self.rank, dests)
@@ -391,6 +404,10 @@ class Mailbox:
                 continue
             entries, nbytes, count = buf.take()
             self._queued -= count
+            if self._combiner is not None and len(entries) > 1:
+                entries, nbytes, count = self._merge_batch_entries(
+                    entries, nbytes, count
+                )
             packets += 1
             yield from self._send_packet(hop, entries, nbytes, count, pack_cost)
         if trace:
@@ -398,6 +415,39 @@ class Mailbox:
                 started, self.ctx.sim.now - started, "mailbox", "flush",
                 self._lane, messages=messages, packets=packets,
             )
+
+    def _merge_batch_entries(self, entries: List[Any], nbytes: int, count: int):
+        """Combine across a buffer's batch entries at flush time.
+
+        Records binned by *separate* ``post_batch`` calls (or separate
+        forwarded packets) land in separate :class:`BatchEntry` chunks of
+        the same coalescing buffer; per-chunk combining in
+        :meth:`_bin_batch` cannot see across them.  One more combining
+        pass over the whole buffer catches those duplicates just before
+        the packet goes out.  Only applies when every entry is a batch
+        chunk of one record dtype (the invariable case for a combined
+        mailbox); the post-merge ``(entries, nbytes, count)`` keep
+        ``entries_sent == entries_received`` balanced because
+        :meth:`_send_packet` sees only the merged view.
+        """
+        first = entries[0]
+        if first.kind != "batch":
+            return entries, nbytes, count
+        dtype = first.batch.dtype
+        for entry in entries[1:]:
+            if entry.kind != "batch" or entry.batch.dtype != dtype:
+                return entries, nbytes, count
+        dests = np.concatenate([e.dests for e in entries])
+        batch = np.concatenate([e.batch for e in entries])
+        lins = None
+        if all(e.lins is not None for e in entries):
+            lins = np.concatenate([e.lins for e in entries])
+        dests, batch, lins, eliminated = self._combiner.combine(dests, batch, lins)
+        if eliminated == 0:
+            return entries, nbytes, count
+        self.stats.entries_combined += eliminated
+        merged = BatchEntry(dests, batch, lins)
+        return [merged], merged.wire_bytes, merged.count
 
     def _send_packet(
         self, hop: int, entries: List[Any], nbytes: int, count: int,

@@ -4,19 +4,27 @@ from __future__ import annotations
 
 from typing import Dict, List, Type
 
+from .adaptive import Adaptive
 from .base import RoutingScheme
+from .combiner import Combiner
 from .nlnr import NLNR, HybridNLNR
+from .node_aware import NodeAware
 from .node_local import NodeLocal
 from .node_remote import NodeRemote
 from .noroute import NoRoute
 
 #: All built-in schemes by registry name.
 SCHEMES: Dict[str, Type[RoutingScheme]] = {
-    cls.name: cls for cls in (NoRoute, NodeLocal, NodeRemote, NLNR, HybridNLNR)
+    cls.name: cls
+    for cls in (NoRoute, NodeLocal, NodeRemote, NLNR, HybridNLNR, NodeAware, Adaptive)
 }
 
 #: The four schemes evaluated in the paper's figures, in figure order.
 PAPER_SCHEMES: List[str] = ["noroute", "node_local", "node_remote", "nlnr"]
+
+#: The extended registry benchmarked/oracle-checked since the node-aware
+#: and adaptive schemes landed (nlnr_hybrid stays a fig8 variant).
+EXTENDED_SCHEMES: List[str] = PAPER_SCHEMES + ["node_aware", "adaptive"]
 
 
 def get_scheme(name: str, nodes: int, cores_per_node: int) -> RoutingScheme:
@@ -31,9 +39,13 @@ def get_scheme(name: str, nodes: int, cores_per_node: int) -> RoutingScheme:
 
 
 __all__ = [
+    "Adaptive",
+    "Combiner",
+    "EXTENDED_SCHEMES",
     "HybridNLNR",
     "NLNR",
     "NoRoute",
+    "NodeAware",
     "NodeLocal",
     "NodeRemote",
     "PAPER_SCHEMES",

@@ -46,6 +46,15 @@ class RoutingScheme(ABC):
     def _rank(self, node: int, core: int) -> int:
         return node * self.cores + core
 
+    def bind_machine(self, machine) -> None:
+        """Attach the simulated machine this scheme routes on.
+
+        Called once per :class:`~repro.core.context.YgmWorld` (and once
+        per PDES worker, on the worker's own machine) before any traffic
+        flows.  Static schemes ignore it; :class:`~.adaptive.Adaptive`
+        stores the NIC resources so routing can consult live occupancy.
+        """
+
     # -- point-to-point routing ------------------------------------------------
     @abstractmethod
     def next_hop(self, cur: int, dest: int) -> int:

@@ -1,0 +1,114 @@
+"""In-network combining: collapse mergeable records during re-binning.
+
+The paper's routing schemes only *re-bin* records at forwarding hops;
+every injected record crosses every hop of its route intact.  For many
+of the paper's applications the records are mergeable: two CC label
+updates for the same vertex can be replaced by the one with the smaller
+label, two degree-count increments for the same vertex by their sum,
+two SpMV partials for the same row by their partial sum.  A
+:class:`Combiner` describes that per-application algebra so the mailbox
+can collapse equal-key records into one *before* re-transmission — at
+injection and again at every intermediate hop, where records from many
+sources meet for the first time (message-combining sparse collectives,
+Traeff et al.; NAPSpMV, Bienz/Gropp/Olson).
+
+The pass is a NumPy group-by riding the existing columnar batch path:
+one ``lexsort`` (destination rank first, then the key fields), one
+adjacent-equality scan for group boundaries, and one ``ufunc.reduceat``
+per reduced field.  No per-record Python loop — ``tools/hotpath_lint.py``
+enforces that only per-*field* iteration appears here.
+
+Algebra requirements: every reduce op must be associative and
+commutative, because records meet in window- and route-dependent
+orders.  ``min``/``max`` are also idempotent, which makes combining
+*bit-exact*: CC/BFS/SSSP deliver identical final state with or without
+combining, under any routing scheme.  Floating-point ``sum`` (SpMV) is
+only associative up to rounding, so combined SpMV results are compared
+with a tolerance, never bit-exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+#: ufuncs implementing the supported reduce ops.  All are associative
+#: and commutative; ``min``/``max`` are idempotent as well.
+REDUCE_OPS = {
+    "sum": np.add,
+    "min": np.minimum,
+    "max": np.maximum,
+}
+
+
+@dataclass(frozen=True)
+class Combiner:
+    """Per-application merge algebra for in-network combining.
+
+    Records in a batch are grouped by ``(destination rank, *key_fields)``;
+    each group collapses to one record whose ``reduce_fields`` hold the
+    group-wise reduction and whose remaining fields come from the
+    group's first record in sorted order.
+
+    ``exact`` declares whether combining preserves results bit-exactly
+    (integer algebras, and ``min``/``max`` selections which pick one of
+    the original values) or only up to floating-point tolerance
+    (``sum`` over floats, where grouping changes evaluation order).
+    """
+
+    name: str
+    key_fields: Tuple[str, ...]
+    reduce_fields: Dict[str, str]  # field -> "sum" | "min" | "max"
+    exact: bool = True
+
+    def __post_init__(self):
+        if not self.key_fields:
+            raise ValueError("combiner needs at least one key field")
+        for field, op in self.reduce_fields.items():
+            if op not in REDUCE_OPS:
+                raise ValueError(
+                    f"unsupported reduce op {op!r} for field {field!r}; "
+                    f"known: {sorted(REDUCE_OPS)}"
+                )
+            if field in self.key_fields:
+                raise ValueError(f"field {field!r} is both key and reduced")
+
+    def combine(
+        self,
+        dests: np.ndarray,
+        batch: np.ndarray,
+        lins: Optional[np.ndarray] = None,
+    ) -> Tuple[np.ndarray, np.ndarray, Optional[np.ndarray], int]:
+        """Collapse equal-key records; returns ``(dests, batch, lins, eliminated)``.
+
+        When nothing merges the *original* arrays come back untouched
+        (no copy, ``eliminated == 0``).  Otherwise the returned arrays
+        are fresh, sorted by ``(dest, *key_fields)``, with one record
+        per group; ``lins`` (message-lineage ids, may be ``None``)
+        follows the group representative — the profiler keeps tracking
+        the surviving record, the merged-away ones simply end their
+        lineage at the combining rank.
+        """
+        n = len(dests)
+        if n <= 1:
+            return dests, batch, lins, 0
+        # np.lexsort sorts by the *last* key first: dests is primary.
+        cols = [batch[f] for f in reversed(self.key_fields)]
+        cols.append(dests)
+        order = np.lexsort(cols)
+        sd = dests[order]
+        sb = batch[order]
+        same = sd[1:] == sd[:-1]
+        for f in self.key_fields:
+            col = sb[f]
+            same &= col[1:] == col[:-1]
+        starts = np.flatnonzero(np.concatenate(([True], ~same)))
+        if len(starts) == n:
+            return dests, batch, lins, 0
+        out = sb[starts].copy()
+        for f, op in self.reduce_fields.items():
+            out[f] = REDUCE_OPS[op].reduceat(sb[f], starts)
+        out_lins = None if lins is None else lins[order][starts]
+        return sd[starts], out, out_lins, n - len(starts)

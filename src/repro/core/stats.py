@@ -30,6 +30,10 @@ class MailboxStats:
     entries_received: int = 0
     #: Entries forwarded as an intermediary (subset of both of the above).
     entries_forwarded: int = 0
+    #: Application messages eliminated by in-network combining (each
+    #: merged-away record counts once, at the rank that merged it; the
+    #: conservation invariant becomes ``sent == delivered + combined``).
+    entries_combined: int = 0
     #: Coalesced packets sent, split by locality.
     local_packets_sent: int = 0
     remote_packets_sent: int = 0

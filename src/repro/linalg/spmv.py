@@ -27,12 +27,26 @@ from typing import Callable, Generator, List, Optional
 import numpy as np
 
 from ..core.context import YgmContext
+from ..core.routing.combiner import Combiner
 from ..graph.delegates import DelegateSet
 from ..graph.partition import CyclicPartition
 from ..serde import RecordSpec
 
 #: Algorithm 2's message: accumulate ``val`` into ``y[row]``.
 SPMV_SPEC = RecordSpec("spmv", [("row", "u8"), ("val", "f8")])
+
+#: Partial-sum combining: products bound for one row add in-network.
+#: ``exact=False``: float addition is associative only up to rounding,
+#: and combining replaces the receiver's canonical post-quiescence
+#: reduction order with window-dependent partial sums -- combined SpMV
+#: is therefore verified to tolerance (and excluded from the oracle's
+#: cross-scheme bit-identity digests), never bit-exactly.
+SPMV_COMBINER = Combiner(
+    "spmv_partial_sum",
+    key_fields=("row",),
+    reduce_fields={"val": "sum"},
+    exact=False,
+)
 
 
 @dataclass
@@ -110,8 +124,17 @@ def make_spmv(
     problems: List[SpmvProblem],
     batch_size: int = 8192,
     capacity: Optional[int] = None,
+    combining: bool = False,
 ) -> Callable[[YgmContext], Generator]:
-    """Build the SpMV rank program; ``problems[rank]`` is that rank's share."""
+    """Build the SpMV rank program; ``problems[rank]`` is that rank's share.
+
+    ``combining=True`` sums equal-row partial products in-network
+    (:data:`SPMV_COMBINER`).  The receiver's canonical-order reduction
+    still runs over whatever records arrive, so results are deterministic
+    for a fixed configuration, but they differ from the uncombined run
+    (and across schemes) by float-rounding only -- compare with a
+    tolerance.
+    """
 
     def rank_main(ctx: YgmContext) -> Generator:
         rank, nranks = ctx.rank, ctx.nranks
@@ -137,7 +160,11 @@ def make_spmv(
             recv_rows.append(batch["row"].astype(np.int64))
             recv_vals.append(batch["val"].astype(np.float64))
 
-        mb = ctx.mailbox(recv_batch=on_batch, capacity=capacity)
+        mb = ctx.mailbox(
+            recv_batch=on_batch,
+            capacity=capacity,
+            combiner=SPMV_COMBINER if combining else None,
+        )
 
         rows, cols, vals = prob.rows, prob.cols, prob.vals
         row_delegated = delegates.is_delegate_vec(rows)

@@ -157,6 +157,11 @@ class PartitionRuntime:
         world = self.world
         rank_main = spec.rank_main
         scheme = spec.scheme
+        # Each forked worker owns a private copy of the scheme object;
+        # adaptive schemes read *this* worker's machine (they only ever
+        # consult the sending node's NIC, which the owning partition
+        # simulates natively -- see repro.core.routing.adaptive).
+        scheme.bind_machine(self.machine)
         default_config = spec.default_config
 
         def make_wrapper(r: int):

@@ -43,11 +43,11 @@ def _stats_bytes(result) -> bytes:
     return json.dumps(payload, sort_keys=True).encode()
 
 
-def _run_once(make_app, tmp_path, tag: str, seed: int = 3):
+def _run_once(make_app, tmp_path, tag: str, seed: int = 3, scheme: str = "nlnr"):
     tracer = Tracer()
     world = YgmWorld(
         small(nodes=2, cores_per_node=2),
-        scheme="nlnr",
+        scheme=scheme,
         seed=seed,
         mailbox_capacity=32,
         tracer=tracer,
@@ -106,6 +106,28 @@ def test_two_fresh_runs_are_byte_identical(fig, tmp_path):
     rows = list(csv.DictReader(io.StringIO(csv1.decode())))
     assert sum(int(r["events"]) for r in rows) > 0
     assert sum(float(r["wall_ms"]) for r in rows) > 0.0
+
+
+@pytest.mark.parametrize("scheme", ("node_aware", "adaptive"))
+@pytest.mark.parametrize("combining", (False, True), ids=["plain", "combining"])
+def test_new_schemes_golden_with_and_without_combining(
+    scheme, combining, tmp_path
+):
+    """The PR 9 schemes (and the in-network combiner) keep the central
+    determinism claim: two fresh runs are byte-identical."""
+
+    def make_app():
+        return make_degree_counting(
+            er_stream(64, 40, seed=5), batch_size=16, combining=combining
+        )
+
+    stats1, csv1 = _run_once(make_app, tmp_path, f"{scheme}_run1", scheme=scheme)
+    stats2, csv2 = _run_once(make_app, tmp_path, f"{scheme}_run2", scheme=scheme)
+    assert stats1 == stats2
+    assert _project_deterministic(csv1) == _project_deterministic(csv2)
+    if combining:
+        stats = json.loads(stats1)["aggregate"]
+        assert int(stats["entries_combined"]) > 0
 
 
 def test_fig5_bandwidth_measurement_is_bit_identical():

@@ -11,19 +11,36 @@ from repro.graph import er_stream
 
 
 def test_full_oracle_all_apps_all_schemes_two_scales():
-    """ISSUE 2 acceptance: 6 apps x 4 routing policies x 2 graph scales,
-    bit-identical across schemes and vs the sequential references."""
+    """ISSUE 2/9 acceptance: 6 apps x 6 routing policies x 2 graph
+    scales, bit-identical across schemes and vs the sequential
+    references."""
     report = run_oracle()
     assert report.ok, report.render()
     apps = {e.app for e in report.entries}
     scales = {e.scale for e in report.entries}
     assert apps == set(ORACLE_APPS)
     assert scales == set(ORACLE_SCALES)
-    # 4 schemes + 1 cross-scheme entry per (app, scale).
-    assert len(report.entries) == len(ORACLE_APPS) * len(ORACLE_SCALES) * 5
+    # 6 schemes + 1 cross-scheme entry per (app, scale).
+    assert len(report.entries) == len(ORACLE_APPS) * len(ORACLE_SCALES) * 7
     schemes = {e.check for e in report.entries}
-    assert {"noroute", "node_local", "node_remote", "nlnr",
-            "cross-scheme"} <= schemes
+    assert {"noroute", "node_local", "node_remote", "nlnr", "node_aware",
+            "adaptive", "cross-scheme"} <= schemes
+
+
+def test_oracle_with_combining_all_apps_tiny():
+    """ISSUE 9: the 6-scheme sweep with in-network combining enabled.
+
+    The integer and min-relax algebras stay bit-identical across schemes
+    (and vs the references); combined SpMV is tolerance-verified and
+    must be *excluded* from the cross-scheme digest comparison."""
+    report = run_oracle(scales=["tiny"], combining=True)
+    assert report.ok, report.render()
+    spmv_checks = {e.check for e in report.entries if e.app == "spmv"}
+    assert "cross-scheme" not in spmv_checks
+    other_checks = {
+        e.check for e in report.entries if e.app == "degree_count"
+    }
+    assert "cross-scheme" in other_checks
 
 
 def test_oracle_detects_a_wrong_reference(monkeypatch):
@@ -63,3 +80,23 @@ def test_ref_cc_labels_are_component_minima():
     # Labels are idempotent (label of label is itself) and <= vertex id.
     assert np.array_equal(labels[labels], labels)
     assert (labels <= np.arange(30)).all()
+
+
+def test_oracle_perturbed_schedules_new_schemes():
+    """ISSUE 9: the node-aware and adaptive schemes (with combining)
+    hold the oracle's assertions under perturbed kernel schedules too --
+    the combined result must be schedule-independent, not just
+    right-on-the-default-schedule."""
+    from repro.check import ShuffledTiebreaker
+
+    report = run_oracle(
+        apps=["degree_count", "connected_components"],
+        scales=["tiny"],
+        schemes=["node_aware", "adaptive"],
+        tiebreaker=ShuffledTiebreaker(seed=11),
+        combining=True,
+    )
+    assert report.ok, report.render()
+    assert {e.check for e in report.entries} >= {
+        "node_aware", "adaptive", "cross-scheme"
+    }

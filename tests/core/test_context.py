@@ -100,3 +100,72 @@ def test_mailbox_capacity_override():
 
     res = YgmWorld(small(), mailbox_capacity=512).run(rank_main)
     assert all(res.values)
+
+
+# ------------------------------------------- occupancy counters (ISSUE 9)
+def test_occupancy_snapshot_reflects_buffered_messages():
+    """ctx.occupancy() exposes the live signals adaptive policies read:
+    coalescing-buffer fill tracks queued sends and drops after a flush."""
+    from repro.core.context import Occupancy
+
+    def rank_main(ctx):
+        empty = ctx.occupancy()
+        assert isinstance(empty, Occupancy)
+        assert empty.buffered_messages == 0
+        assert empty.buffer_fill == 0.0
+
+        mb = ctx.mailbox(recv=lambda m: None, capacity=8)
+        for i in range(3):
+            yield from mb.send((ctx.rank + 1) % ctx.nranks, i)
+        mid = ctx.occupancy()
+        assert mid.buffered_messages == 3
+        assert mid.buffer_fill == pytest.approx(3 / 8)
+        for field in ("nic_tx_in_use", "nic_tx_queued",
+                      "nic_rx_in_use", "nic_rx_queued"):
+            assert getattr(mid, field) >= 0
+
+        yield from mb.wait_empty()
+        drained = ctx.occupancy()
+        assert drained.buffered_messages == 0
+        assert drained.buffer_fill == 0.0
+        return True
+
+    res = YgmWorld(small(nodes=2, cores_per_node=2), scheme="nlnr").run(rank_main)
+    assert all(res.values)
+
+
+def test_occupancy_fill_spans_all_mailboxes():
+    def rank_main(ctx):
+        a = ctx.mailbox(recv=lambda m: None, capacity=4)
+        b = ctx.mailbox(recv=lambda m: None, capacity=12)
+        yield from a.send((ctx.rank + 1) % ctx.nranks, "a")
+        yield from b.send((ctx.rank + 1) % ctx.nranks, "b")
+        snap = ctx.occupancy()
+        assert snap.buffered_messages == 2
+        assert snap.buffer_fill == pytest.approx(2 / 16)
+        yield from a.wait_empty()
+        yield from b.wait_empty()
+        return True
+
+    res = YgmWorld(small(nodes=2, cores_per_node=2)).run(rank_main)
+    assert all(res.values)
+
+
+def test_occupancy_reads_do_not_perturb_the_run():
+    """Polling occupancy every step must not change the simulation."""
+
+    def make(poll):
+        def rank_main(ctx):
+            mb = ctx.mailbox(recv=lambda m: None, capacity=4)
+            for i in range(16):
+                yield from mb.send((ctx.rank + i) % ctx.nranks, i)
+                if poll:
+                    ctx.occupancy()
+            yield from mb.wait_empty()
+            return None
+        return rank_main
+
+    quiet = YgmWorld(small(), scheme="nlnr", seed=2).run(make(False))
+    polled = YgmWorld(small(), scheme="nlnr", seed=2).run(make(True))
+    assert quiet.elapsed == polled.elapsed
+    assert quiet.mailbox_stats.as_dict() == polled.mailbox_stats.as_dict()

@@ -21,7 +21,9 @@ from repro.pdes import PdesWorld, assert_equivalent
 #: The battery machine: 8 nodes x 2 cores = 16 ranks, so the partition
 #: sweep covers 1 (degenerate serial path), 2, 4 and 8 workers.
 NODES, CORES = 8, 2
-SCHEMES = ("noroute", "node_local", "node_remote", "nlnr")
+SCHEMES = (
+    "noroute", "node_local", "node_remote", "nlnr", "node_aware", "adaptive"
+)
 WORKER_COUNTS = (1, 2, 4, 8)
 SEED = 5
 
@@ -145,3 +147,24 @@ def test_same_instant_cross_partition_ties_preserve_multisets_and_stats():
             sorted(x) == sorted(y) for x, y in zip(a, b)
         ),
     )
+
+
+@pytest.mark.parametrize("scheme", ("nlnr", "node_aware", "adaptive"))
+def test_combining_parallel_bit_identical_to_serial(scheme):
+    """In-network combining under partitioning: merged windows depend
+    only on (seed, config), never on which process simulates a node, so
+    the combined run must stay bit-identical across partitions too."""
+    case = _build_case(
+        "degree_count", "small", NODES * CORES, seed=SEED, combining=True
+    )
+    machine = bench_machine(nodes=NODES, cores_per_node=CORES)
+    serial = YgmWorld(machine, scheme=scheme, seed=SEED).run(case.make())
+    assert serial.mailbox_stats.entries_combined > 0
+    engine = PdesWorld(machine, scheme=scheme, seed=SEED, workers=2)
+    parallel = engine.run(case.make())
+    assert_equivalent(
+        parallel,
+        serial,
+        values_equal=lambda a, b: results_equal(case.gather(a), case.gather(b)),
+    )
+    assert engine.exported_packets > 0

@@ -138,3 +138,74 @@ def test_cli_reports_violations_and_exits_nonzero(tmp_path):
     )
     assert proc.returncode == 1
     assert "P2PEntry() constructed in rebin" in proc.stderr
+
+
+def _write_combiner_tree(tmp_path, combiner_src):
+    root = tmp_path / "repo"
+    pkg = root / "src" / "repro" / "core" / "routing"
+    pkg.mkdir(parents=True)
+    (pkg / "combiner.py").write_text(combiner_src)
+    return root
+
+
+def test_field_iteration_in_combiner_is_allowed(tmp_path):
+    root = _write_combiner_tree(
+        tmp_path,
+        "class Combiner:\n"
+        "    def combine(self, dests, batch):\n"
+        "        cols = [batch[f] for f in reversed(self.key_fields)]\n"
+        "        for f in self.key_fields:\n"
+        "            pass\n"
+        "        for f, op in self.reduce_fields.items():\n"
+        "            pass\n",
+    )
+    assert hotpath_lint.lint(root) == []
+
+
+def test_flags_per_record_loop_in_combiner(tmp_path):
+    root = _write_combiner_tree(
+        tmp_path,
+        "class Combiner:\n"
+        "    def combine(self, dests, batch):\n"
+        "        out = []\n"
+        "        for d, rec in zip(dests, batch):\n"  # violation: per-record
+        "            out.append((d, rec))\n"
+        "        return out\n",
+    )
+    ((_f, _line, qual, what),) = hotpath_lint.lint(root)
+    assert qual == "Combiner.combine"
+    assert what == "per-record for loop"
+
+
+def test_flags_per_record_comprehension_and_while(tmp_path):
+    root = _write_combiner_tree(
+        tmp_path,
+        "def merge(dests, batch):\n"
+        "    keys = [tuple(r) for r in batch]\n"  # violation
+        "    i = 0\n"
+        "    while i < len(dests):\n"  # violation
+        "        i += 1\n",
+    )
+    whats = sorted(what for _f, _line, _q, what in hotpath_lint.lint(root))
+    assert whats == ["per-record comprehension", "per-record while loop"]
+
+
+def test_cli_reports_combining_violation(tmp_path):
+    root = _write_combiner_tree(
+        tmp_path,
+        "def merge(dests):\n"
+        "    for d in dests:\n"
+        "        pass\n",
+    )
+    proc = subprocess.run(
+        [
+            sys.executable,
+            str(REPO / "tools" / "hotpath_lint.py"),
+            "--root",
+            str(root),
+        ],
+        capture_output=True,
+        text=True,
+    )
+    assert proc.returncode == 1
+    assert "must stay vectorized" in proc.stderr

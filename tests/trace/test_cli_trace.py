@@ -20,7 +20,7 @@ def test_expand_figs_exact_and_groups():
     assert expand_figs(["6a", "capacity"]) == ["6a", "capacity"]
     assert "5" in expand_figs(["all"])
     assert expand_figs(["ablations"]) == [
-        "capacity", "cores", "eager", "hybrid", "straggler"
+        "capacity", "combining", "cores", "eager", "hybrid", "straggler"
     ]
 
 

@@ -21,6 +21,14 @@ fine; an explicit ``pickle`` use in these modules means someone put a
 Python-object serializer back on the hot path.)  Results stay
 bit-identical either way, so again only this lint catches it.
 
+PR 9 added a third rule for the in-network combining pass
+(``repro.core.routing.combiner``): the group-by must stay vectorized --
+one ``lexsort``, one adjacent-equality scan, one ``reduceat`` per
+reduced field.  The only Python loops allowed there iterate over the
+combiner's *field lists* (``key_fields`` / ``reduce_fields``, a handful
+of names), never over records; a ``for``/``while``/comprehension over
+anything else is a per-record loop sneaking back onto the re-bin path.
+
 Usage::
 
     python tools/hotpath_lint.py [--root PATH]
@@ -60,6 +68,9 @@ PICKLE_FREE_FILES = (
     "src/repro/pdes/worker.py",
     "src/repro/pdes/engine.py",
 )
+
+#: Files whose loops may only iterate per-*field*, never per-record.
+VECTORIZED_FILES = ("src/repro/core/routing/combiner.py",)
 
 
 def _call_name(node: ast.Call) -> str:
@@ -135,6 +146,86 @@ class _PickleVisitor(ast.NodeVisitor):
         self.generic_visit(node)
 
 
+class _VectorizedVisitor(ast.NodeVisitor):
+    """Flags per-record Python loops in the combining pass.
+
+    A loop's iterable is fine when it bottoms out in one of the
+    combiner's field lists (``key_fields`` / ``reduce_fields``), possibly
+    through a dict view (``.items()``/``.keys()``/``.values()``) or an
+    order-only wrapper (``reversed``/``sorted``/``enumerate``/``tuple``/
+    ``list``).  Everything else -- and any ``while`` -- is per-record.
+    """
+
+    _FIELD_ATTRS = {"key_fields", "reduce_fields"}
+    _DICT_VIEWS = {"items", "keys", "values"}
+    _WRAPPERS = {"reversed", "sorted", "enumerate", "tuple", "list"}
+
+    def __init__(self, relpath: str) -> None:
+        self.relpath = relpath
+        self.stack: list[str] = []
+        self.violations: list[tuple[str, int, str, str]] = []
+
+    def _scoped(self, node) -> None:
+        self.stack.append(node.name)
+        self.generic_visit(node)
+        self.stack.pop()
+
+    visit_ClassDef = _scoped
+    visit_FunctionDef = _scoped
+    visit_AsyncFunctionDef = _scoped
+
+    def _iter_allowed(self, node) -> bool:
+        if isinstance(node, ast.Attribute):
+            return node.attr in self._FIELD_ATTRS
+        if isinstance(node, ast.Name):
+            return node.id in self._FIELD_ATTRS
+        if isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Attribute) and func.attr in self._DICT_VIEWS:
+                return self._iter_allowed(func.value)
+            if isinstance(func, ast.Name) and func.id in self._WRAPPERS and node.args:
+                return self._iter_allowed(node.args[0])
+        return False
+
+    def _flag(self, node, what: str) -> None:
+        qualname = ".".join(self.stack) or "<module>"
+        self.violations.append((self.relpath, node.lineno, qualname, what))
+
+    def _check_loop(self, node, kind: str) -> None:
+        if not self._iter_allowed(node.iter):
+            self._flag(node, f"per-record {kind}")
+        self.generic_visit(node)
+
+    def visit_For(self, node: ast.For) -> None:
+        self._check_loop(node, "for loop")
+
+    def visit_AsyncFor(self, node: ast.AsyncFor) -> None:
+        self._check_loop(node, "for loop")
+
+    def visit_While(self, node: ast.While) -> None:
+        self._flag(node, "per-record while loop")
+        self.generic_visit(node)
+
+    def _check_comp(self, node, kind: str) -> None:
+        for gen in node.generators:
+            if not self._iter_allowed(gen.iter):
+                self._flag(node, f"per-record {kind}")
+                break
+        self.generic_visit(node)
+
+    def visit_ListComp(self, node: ast.ListComp) -> None:
+        self._check_comp(node, "comprehension")
+
+    def visit_SetComp(self, node: ast.SetComp) -> None:
+        self._check_comp(node, "comprehension")
+
+    def visit_DictComp(self, node: ast.DictComp) -> None:
+        self._check_comp(node, "comprehension")
+
+    def visit_GeneratorExp(self, node: ast.GeneratorExp) -> None:
+        self._check_comp(node, "comprehension")
+
+
 def lint_file(path: Path, relpath: str) -> list[tuple[str, int, str, str]]:
     tree = ast.parse(path.read_text(), filename=str(path))
     visitor = _HotPathVisitor(relpath)
@@ -149,6 +240,13 @@ def lint_pickle_free(path: Path, relpath: str) -> list[tuple[str, int, str, str]
     return visitor.violations
 
 
+def lint_vectorized(path: Path, relpath: str) -> list[tuple[str, int, str, str]]:
+    tree = ast.parse(path.read_text(), filename=str(path))
+    visitor = _VectorizedVisitor(relpath)
+    visitor.visit(tree)
+    return visitor.violations
+
+
 def lint(root: Path) -> list[tuple[str, int, str, str]]:
     violations = []
     for rel in HOT_FILES:
@@ -159,6 +257,10 @@ def lint(root: Path) -> list[tuple[str, int, str, str]]:
         path = root / rel
         if path.exists():
             violations.extend(lint_pickle_free(path, rel))
+    for rel in VECTORIZED_FILES:
+        path = root / rel
+        if path.exists():
+            violations.extend(lint_vectorized(path, rel))
     return violations
 
 
@@ -172,7 +274,15 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
     violations = lint(Path(args.root))
     for relpath, lineno, qualname, name in violations:
-        if "pickle" in name:
+        if name.startswith("per-record"):
+            print(
+                f"{relpath}:{lineno}: {name} in {qualname} -- the combining "
+                f"pass must stay vectorized (lexsort + reduceat); Python "
+                f"loops there may only iterate over the combiner's field "
+                f"lists, never over records",
+                file=sys.stderr,
+            )
+        elif "pickle" in name:
             print(
                 f"{relpath}:{lineno}: {name} in {qualname} -- the PDES "
                 f"export path must stay pickle-free (encode through "
@@ -189,7 +299,7 @@ def main(argv=None) -> int:
                 file=sys.stderr,
             )
     if not violations:
-        nfiles = len(HOT_FILES) + len(PICKLE_FREE_FILES)
+        nfiles = len(HOT_FILES) + len(PICKLE_FREE_FILES) + len(VECTORIZED_FILES)
         print(f"hotpath lint: OK ({nfiles} files)")
     return 1 if violations else 0
 
