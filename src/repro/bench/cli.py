@@ -33,6 +33,16 @@ serial-vs-parallel differential test.  ``--pdes-transport {shm,pipe}``
 selects the export transport (shared-memory rings by default; the
 pickle-over-pipe path is kept for differential testing).
 
+``pdes --attribute`` (the bare positional ``pdes`` implies
+``--attribute``) switches to the flight-recorded attribution mode (see
+:mod:`repro.bench.attribution`): one representative configuration of
+the first requested figure (default ``6a``) runs partitioned across
+``--pdes-workers`` processes (default 4) with the PDES flight recorder
+on, and the overhead-attribution report (JSON + self-contained HTML;
+``--attribute-out`` sets the path) tiles every process's wall clock
+into named phase buckets.  Adding ``--trace out.json`` also writes the
+merged Chrome trace with one host wall-clock process group per worker.
+
 ``--perf`` switches to the wall-clock performance harness (see
 :mod:`repro.bench.perf` and EXPERIMENTS.md): micro- and macrobenchmarks
 of the DES stack itself, written to a schema-versioned
@@ -244,6 +254,24 @@ def main(argv: List[str] = None) -> int:
         "the JSON document lands next to it with a .json suffix)",
     )
     parser.add_argument(
+        "--attribute",
+        action="store_true",
+        help="flight-recorded PDES attribution mode: run one partitioned "
+        "configuration of the first requested figure (default 6a) with "
+        "the cross-process flight recorder and write the overhead-"
+        "attribution report (HTML + JSON); the positional figure id "
+        "'pdes' implies this flag.  --pdes-workers sets the partition "
+        "count (default 4 here), --trace adds the merged Chrome trace",
+    )
+    parser.add_argument(
+        "--attribute-out",
+        metavar="PATH",
+        default=None,
+        help="with --attribute: HTML output path (default: "
+        "pdes_attr_<fig>.html; the JSON document lands next to it with "
+        "a .json suffix)",
+    )
+    parser.add_argument(
         "--check",
         action="store_true",
         help="correctness-harness mode: run the routing-differential "
@@ -404,8 +432,13 @@ def main(argv: List[str] = None) -> int:
             return 130
 
     figs = (args.figs or []) + args.figs_pos
+    attribute = args.attribute
+    if any(f.lower() == "pdes" for f in figs):
+        # The bare positional "pdes" selects the attribution mode.
+        attribute = True
+        figs = [f for f in figs if f.lower() != "pdes"]
     if not figs:
-        figs = ["all"]
+        figs = ["6a"] if attribute else ["all"]
     try:
         expanded = expand_figs(figs)
     except ValueError as exc:
@@ -419,6 +452,40 @@ def main(argv: List[str] = None) -> int:
             mailbox_capacity=sweep.mailbox_capacity,
             seed=args.seed,
         )
+
+    if attribute:
+        from .attribution import run_attribution
+
+        html_path = args.attribute_out or f"pdes_attr_{expanded[0]}.html"
+        json_path = (
+            html_path[: -len(".html")] + ".json"
+            if html_path.endswith(".html")
+            else html_path + ".json"
+        )
+        for path in (html_path, json_path, args.trace):
+            if path:
+                try:
+                    with open(path, "a"):
+                        pass
+                except OSError as exc:
+                    parser.error(f"cannot write {path}: {exc}")
+        start = time.perf_counter()
+        try:
+            table = run_attribution(
+                expanded[0],
+                sweep,
+                html_path,
+                json_path,
+                trace_path=args.trace,
+                workers=args.pdes_workers or 4,
+                transport=args.pdes_transport,
+            )
+        except (ValueError, OSError) as exc:
+            parser.error(str(exc))
+        wall = time.perf_counter() - start
+        print(table.render())
+        print(f"# harness wall-clock: {wall:.1f}s")
+        return 0
 
     if args.profile:
         from .profiling import run_profiled

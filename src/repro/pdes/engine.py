@@ -64,6 +64,7 @@ import math
 import multiprocessing
 import os
 import time
+from time import perf_counter
 from typing import Any, Callable, Dict, Generator, List, Optional, Union
 
 from ..core.config import MailboxConfig
@@ -76,8 +77,10 @@ from .partition import NodePartition
 from .rings import RingError, ShmTransport, recv_batch, send_batch
 from .wire import decode_batch
 from .worker import (
+    CMD_CLOCK,
     CMD_FINISH,
     CMD_STEP,
+    REP_CLOCK,
     REP_ERROR,
     REP_READY,
     REP_REPORT,
@@ -92,13 +95,22 @@ class PdesError(RuntimeError):
 
 
 class PdesStallError(PdesError):
-    """A worker failed to reach the window barrier within the timeout."""
+    """A worker failed to reach the window barrier within the timeout.
 
-    def __init__(self, stalled: List[int], timeout: float, round_no: int):
+    ``detail`` names the congested ring(s) from the always-on
+    :class:`~repro.pdes.rings.RingStats` counters, so a stall verdict
+    says *where* the traffic was sitting, not just who went quiet.
+    """
+
+    def __init__(
+        self, stalled: List[int], timeout: float, round_no: int,
+        detail: str = "",
+    ):
         self.stalled = stalled
         super().__init__(
             f"PDES partition(s) {stalled} stalled: no barrier report within "
             f"{timeout:.1f}s (window round {round_no}); workers killed"
+            + detail
         )
 
 
@@ -127,6 +139,7 @@ class PdesWorld:
         transport: Optional[str] = None,
         window_batch: Optional[int] = None,
         ring_bytes: Optional[int] = None,
+        flight: Any = False,
     ):
         if isinstance(machine, int):
             machine = bench_machine(nodes=machine, cores_per_node=cores_per_node)
@@ -175,12 +188,31 @@ class PdesWorld:
         #: horizon, k > 1 = up to k lookahead windows per barrier round.
         self.window_batch = window_batch
         self.ring_bytes = ring_bytes
+        #: Flight-recorder spec (:class:`~repro.pdes.flight.FlightSpec`)
+        #: or ``None``.  ``flight=True`` selects the default spec; off by
+        #: default, in which case workers run the bare serve loop and no
+        #: flight-recorder code executes anywhere on the window path.
+        self.flight_spec = None
+        if flight:
+            from .flight import FlightSpec
+
+            self.flight_spec = (
+                flight if isinstance(flight, FlightSpec) else FlightSpec()
+            )
+        #: The merged :class:`~repro.pdes.flight.FlightLog` of the last
+        #: flight-recorded :meth:`run`, or ``None``.
+        self.flight_log = None
         self._rings: Optional[ShmTransport] = None
         self._scratch = bytearray()
         if tracer is not None:
             tracer.bind(
                 nodes=machine.nodes, cores_per_node=machine.cores_per_node
             )
+        #: Driver-side :class:`~repro.pdes.rings.RingStats` dicts of the
+        #: last shm run (``{"to_worker": [...], "from_worker": [...]}``),
+        #: captured at ring teardown so they stay readable post-run;
+        #: ``None`` before the first run or under the pipe transport.
+        self.ring_stats: Optional[dict] = None
         #: Window-protocol counters of the last :meth:`run` (diagnostics).
         self.rounds = 0
         self.exported_packets = 0
@@ -221,6 +253,7 @@ class PdesWorld:
                     tiebreaker=self.tiebreaker,
                     transport=self.transport,
                     rings=rings,
+                    flight=self.flight_spec,
                 )
                 proc = ctx.Process(
                     target=worker_main, args=(child, spec), daemon=True,
@@ -240,6 +273,12 @@ class PdesWorld:
         rings, self._rings = self._rings, None
         if rings is None:
             return
+        # Keep the always-on driver-side counters readable after the
+        # segment is gone: `engine.ring_stats` is the post-run view.
+        self.ring_stats = {
+            "to_worker": [r.stats.as_dict() for r in rings.to_worker],
+            "from_worker": [r.stats.as_dict() for r in rings.from_worker],
+        }
         try:
             rings.close()
         except BufferError:  # pragma: no cover - leaked view; best effort
@@ -286,8 +325,11 @@ class PdesWorld:
                 if eof:
                     break  # grace expired: report the silent deaths
                 stalled = sorted(pending)
+                detail = self._ring_stall_note(stalled)
                 self._kill(procs)
-                raise PdesStallError(stalled, self.window_timeout, round_no)
+                raise PdesStallError(
+                    stalled, self.window_timeout, round_no, detail
+                )
             errors = []
             for conn in ready:
                 p = part_of[id(conn)]
@@ -331,6 +373,68 @@ class PdesWorld:
                 f"(window round {round_no})" + self._ring_attribution(parts)
             ) from None
         return replies  # type: ignore[return-value]
+
+    def _ring_stall_note(self, parts: List[int]) -> str:
+        """Name a stalled partition's congested rings (RingStats).
+
+        Read *before* killing the workers so the shared head/tail
+        counters still reflect the stall.  The import ring's high-water
+        and spill counters are driver-side (the driver produces into
+        it); the export ring's producer counters live in the worker, so
+        only its live occupancy is reported here.
+        """
+        rings = self._rings
+        if rings is None:
+            return ""
+        notes = []
+        for p in parts:
+            imp = rings.to_worker[p]
+            ist = imp.stats
+            if imp.used or ist.spills or ist.high_water:
+                notes.append(
+                    f"; partition {p} import ring: {imp.used} byte(s) "
+                    f"unread of {imp.capacity} (high-water "
+                    f"{ist.high_water}, {ist.spills} spill(s))"
+                )
+            exp = rings.from_worker[p]
+            if exp.used:
+                notes.append(
+                    f"; partition {p} export ring: {exp.used} byte(s) "
+                    f"undelivered of {exp.capacity}"
+                )
+        return "".join(notes)
+
+    def _clock_sync(self, conns, procs) -> List[float]:
+        """Handshake-estimate every worker's monotonic-clock offset.
+
+        Flight recording only.  Ping-pongs ``CMD_CLOCK`` echoes on the
+        control pipe (:data:`~repro.pdes.flight.CLOCK_PROBES` round
+        trips per worker) and keeps the minimum-RTT midpoint estimate
+        (:func:`~repro.pdes.flight.estimate_offset`), so the merger can
+        map worker span timestamps onto the driver's clock.
+        """
+        from .flight import CLOCK_PROBES, estimate_offset
+
+        offsets = []
+        for p, conn in enumerate(conns):
+            probes = []
+            for _ in range(CLOCK_PROBES):
+                t_send = perf_counter()
+                conn.send((CMD_CLOCK,))
+                if not conn.poll(self.window_timeout):
+                    self._kill(procs)
+                    raise PdesStallError([p], self.window_timeout, 0)
+                rep = conn.recv()
+                t_recv = perf_counter()
+                if rep[0] != REP_CLOCK:
+                    self._kill(procs)
+                    raise PdesError(
+                        f"PDES partition {p}: expected clock echo, "
+                        f"got {rep[0]!r}"
+                    )
+                probes.append((t_send, rep[2], t_recv))
+            offsets.append(estimate_offset(probes))
+        return offsets
 
     def _ring_attribution(self, parts: List[int]) -> str:
         """Describe what a dead worker left sitting in its export ring.
@@ -411,23 +515,48 @@ class PdesWorld:
         self.spilled_batches = 0
         self.max_window_batch = 1
 
+        self.flight_log = None
         conns, procs = self._spawn(rank_main)
+        fl = None
+        offsets: List[float] = []
         try:
             self._recv(conns, procs, REP_READY, round_no=0)
+            if self.flight_spec is not None:
+                from .flight import DriverFlight
+
+                offsets = self._clock_sync(conns, procs)
+                fl = DriverFlight()
             pending: List[List[tuple]] = [[] for _ in range(nparts)]
 
-            def step_all(horizons, drain: bool) -> List[tuple]:
+            def step_all(horizons, drain: bool, k: int = 1) -> List[tuple]:
+                if fl is not None:
+                    t0 = perf_counter()
+                    spills0 = self.spilled_batches
                 for p, conn in enumerate(conns):
                     batch, pending[p] = pending[p], []
                     conn.send(
                         (CMD_STEP, horizons[p], self._ship(p, batch), drain)
                     )
+                if fl is not None:
+                    t1 = perf_counter()
+                    fl.span("re-inject", t0, t1 - t0, self.rounds)
                 reports = self._recv(conns, procs, REP_REPORT, self.rounds)
+                n_exports = 0
                 for rep in reports:
                     exports = self._fetch(rep[1], rep[2])
                     self.exported_packets += len(exports)
+                    n_exports += len(exports)
                     for exp in exports:
                         pending[owner_of_rank(exp[2])].append(exp)
+                if fl is not None:
+                    t2 = perf_counter()
+                    # fan-in includes the wait for barrier reports: that
+                    # *is* the cost of the single-threaded fan-in design.
+                    fl.span("fan-in", t1, t2 - t1, self.rounds)
+                    fl.sample_round(
+                        self.rounds, self._rings, k, n_exports,
+                        self.spilled_batches - spills0,
+                    )
                 return reports
 
             # Round 0: report-only (no horizon), to learn initial t_min.
@@ -436,6 +565,8 @@ class PdesWorld:
             batch_k = self.window_batch if self.window_batch > 0 else 1
             adaptive = self.window_batch == 0
             while True:
+                if fl is not None:
+                    t_h = perf_counter()
                 remaining = {rep[1]: rep[4] for rep in reports}
                 if sum(remaining.values()) == 0:
                     break
@@ -490,8 +621,12 @@ class PdesWorld:
                 self.rounds += 1
                 if batch_k > self.max_window_batch:
                     self.max_window_batch = batch_k
+                if fl is not None:
+                    fl.span(
+                        "horizon", t_h, perf_counter() - t_h, self.rounds
+                    )
                 spills_before = self.spilled_batches
-                reports = step_all(horizons, drain=False)
+                reports = step_all(horizons, drain=False, k=batch_k)
                 n_exports = sum(len(b) for b in pending)
                 k_used = batch_k
                 if adaptive and nparts > 1:
@@ -537,9 +672,17 @@ class PdesWorld:
                     rounds=self.rounds, exported=self.exported_packets,
                 )
 
+            if fl is not None:
+                t_f = perf_counter()
             for conn in conns:
                 conn.send((CMD_FINISH,))
+            if fl is not None:
+                t_f1 = perf_counter()
+                fl.span("re-inject", t_f, t_f1 - t_f, self.rounds)
             results = self._recv(conns, procs, REP_RESULT, self.rounds)
+            if fl is not None:
+                fl.t_end = perf_counter()
+                fl.span("fan-in", t_f1, fl.t_end - t_f1, self.rounds)
         finally:
             self._kill(procs)
             for conn in conns:
@@ -552,7 +695,39 @@ class PdesWorld:
             # the run and the resource tracker stays quiet.
             self._teardown_rings()
 
-        return self._assemble([rep[2] for rep in results])
+        result = self._assemble([rep[2] for rep in results])
+        if fl is not None:
+            from .flight import FlightLog
+
+            snaps = sorted(
+                (rep[2]["flight"] for rep in results), key=lambda s: s["part"]
+            )
+            self.flight_log = FlightLog(
+                driver=fl,
+                workers=snaps,
+                offsets=offsets,
+                meta={
+                    "workers": self.nworkers,
+                    "transport": self.transport,
+                    "rounds": self.rounds,
+                    "lookahead": self.lookahead,
+                    "window_batch": self.window_batch,
+                    "max_window_batch": self.max_window_batch,
+                    "exported_packets": self.exported_packets,
+                    "spilled_batches": self.spilled_batches,
+                    "nodes": self.machine_config.nodes,
+                    "cores_per_node": self.machine_config.cores_per_node,
+                    "elapsed_sim": result.elapsed,
+                },
+            )
+            if tracer is not None:
+                # Worker simulated-time events + progress samples join
+                # the driver tracer (rank/NIC lanes are partition-
+                # disjoint): metrics and Chrome exports then cover the
+                # whole run, with per-process wall-clock rows tagged by
+                # the rank_group column.
+                self.flight_log.merge_into_tracer(tracer)
+        return result
 
     # -- result assembly ---------------------------------------------------
     def _assemble(self, parts: List[dict]) -> YgmResult:

@@ -62,6 +62,49 @@ class RingError(RuntimeError):
     """A ring protocol violation (desync, truncation, bad descriptor)."""
 
 
+class RingStats:
+    """Cheap always-on counters of one ring endpoint (this process's side).
+
+    Pure integer bumps on the *batch* path (once per window record, never
+    per message), so they stay on even without the flight recorder and
+    are readable post-run -- e.g. a :class:`~repro.pdes.engine.
+    PdesStallError` names the congested ring from these.  Producer-side
+    fields (``pushes``/``bytes_pushed``/``high_water``/``spills``) are
+    maintained by whichever process produces into the ring; consumer-side
+    fields (``pops``/``bytes_popped``/``fence_errors``) by the consumer.
+    ``high_water`` is the peak occupancy in bytes observed just after a
+    push; ``spills`` counts pushes refused for lack of space (the caller
+    then takes the pipe spill path -- this ring never blocks, so
+    congestion shows up as spills, not waits).
+    """
+
+    __slots__ = (
+        "pushes",
+        "pops",
+        "bytes_pushed",
+        "bytes_popped",
+        "high_water",
+        "spills",
+        "fence_errors",
+    )
+
+    def __init__(self) -> None:
+        self.pushes = 0
+        self.pops = 0
+        self.bytes_pushed = 0
+        self.bytes_popped = 0
+        self.high_water = 0
+        self.spills = 0
+        self.fence_errors = 0
+
+    def as_dict(self) -> dict:
+        return {name: getattr(self, name) for name in self.__slots__}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        body = ", ".join(f"{k}={v}" for k, v in self.as_dict().items())
+        return f"RingStats({body})"
+
+
 class SpscRing:
     """One single-producer/single-consumer ring inside a shared slot.
 
@@ -79,6 +122,11 @@ class SpscRing:
         self._push_seq = 0
         self._pop_seq = 0
         self._consumed: Optional[int] = None
+        #: Always-on endpoint counters (see :class:`RingStats`).  Updated
+        #: with plain integer bumps only -- the push/pop fast path takes
+        #: no clock reads and no recorder calls (enforced by
+        #: ``tools/hotpath_lint.py``).
+        self.stats = RingStats()
 
     # -- shared counters ---------------------------------------------------
     def _load(self, off: int) -> int:
@@ -118,9 +166,12 @@ class SpscRing:
         """Frame and write one record; returns its sequence number, or
         ``None`` when the ring lacks space (caller takes the spill
         path -- blocking here could deadlock against the barrier)."""
+        stats = self.stats
         need = _REC_HDR + len(payload)
         tail = self._load(_TAIL_OFF)
-        if need > self.capacity - (tail - self._load(_HEAD_OFF)):
+        used = tail - self._load(_HEAD_OFF)
+        if need > self.capacity - used:
+            stats.spills += 1
             return None
         seq = self._push_seq
         self._write(
@@ -130,6 +181,10 @@ class SpscRing:
         self._write(tail + _REC_HDR, payload)
         self._store(_TAIL_OFF, tail + need)
         self._push_seq = seq + 1
+        stats.pushes += 1
+        stats.bytes_pushed += need
+        if used + need > stats.high_water:
+            stats.high_water = used + need
         return seq
 
     # -- consumer side -----------------------------------------------------
@@ -148,11 +203,13 @@ class SpscRing:
         seq = int.from_bytes(hdr[:8], "little")
         length = int.from_bytes(hdr[8:], "little")
         if seq != self._pop_seq:
+            self.stats.fence_errors += 1
             raise RingError(
                 f"ring sequence fence broken: expected record "
                 f"{self._pop_seq}, found {seq}"
             )
         if tail - head < _REC_HDR + length:
+            self.stats.fence_errors += 1
             raise RingError(
                 f"ring record {seq} truncated: framed {length} bytes, "
                 f"only {tail - head - _REC_HDR} present"
@@ -170,6 +227,9 @@ class SpscRing:
             raise RingError("commit_pop without begin_pop")
         self._store(_HEAD_OFF, self._load(_HEAD_OFF) + self._consumed)
         self._pop_seq += 1
+        stats = self.stats
+        stats.pops += 1
+        stats.bytes_popped += self._consumed
         self._consumed = None
 
     def release(self) -> None:
@@ -239,6 +299,27 @@ class ShmTransport:
 DESC_NONE = ("none",)
 
 
+def encode_exports(exports: List[tuple], scratch: bytearray) -> bool:
+    """Serialize ``exports`` into ``scratch``; the encode half of
+    :func:`send_batch`.  Returns whether there is anything to push."""
+    if not exports:
+        return False
+    del scratch[:]
+    encode_batch(exports, scratch)
+    return True
+
+
+def push_encoded(ring: SpscRing, scratch: bytearray, nonempty: bool):
+    """Push an :func:`encode_exports` blob; the ring half of
+    :func:`send_batch`.  Returns the pipe descriptor."""
+    if not nonempty:
+        return DESC_NONE
+    seq = ring.try_push(scratch)
+    if seq is None:
+        return ("spill", bytes(scratch))
+    return ("ring", seq)
+
+
 def send_batch(ring: SpscRing, exports: List[tuple], scratch: bytearray):
     """Encode ``exports`` into ``ring``; returns the pipe descriptor.
 
@@ -246,14 +327,7 @@ def send_batch(ring: SpscRing, exports: List[tuple], scratch: bytearray):
     path, ``("spill", blob)`` when the batch outgrows the ring's free
     space (the encoded bytes then ride the pipe message itself).
     """
-    if not exports:
-        return DESC_NONE
-    del scratch[:]
-    encode_batch(exports, scratch)
-    seq = ring.try_push(scratch)
-    if seq is None:
-        return ("spill", bytes(scratch))
-    return ("ring", seq)
+    return push_encoded(ring, scratch, encode_exports(exports, scratch))
 
 
 def recv_batch(ring: SpscRing, desc) -> List[tuple]:

@@ -85,6 +85,9 @@ def _project_deterministic(csv_bytes: bytes) -> bytes:
     reader = csv.DictReader(io.StringIO(csv_bytes.decode()))
     assert WALL_CLOCK_COLUMNS <= set(reader.fieldnames)
     kept = [c for c in reader.fieldnames if c not in WALL_CLOCK_COLUMNS]
+    # The process column is deterministic and must survive projection:
+    # without it, rows from different workers are indistinguishable.
+    assert "rank_group" in kept
     out = io.StringIO()
     writer = csv.DictWriter(out, fieldnames=kept, extrasaction="ignore")
     writer.writeheader()
@@ -128,6 +131,52 @@ def test_new_schemes_golden_with_and_without_combining(
     if combining:
         stats = json.loads(stats1)["aggregate"]
         assert int(stats["entries_combined"]) > 0
+
+
+def _chatter(ctx):
+    got = []
+    mb = ctx.mailbox(recv=lambda m: got.append(m))
+    n = ctx.nranks
+    for i in range(25):
+        yield from mb.send((ctx.rank * 5 + i * 3) % n, (ctx.rank, i))
+    yield from mb.wait_empty()
+    return sorted(got)
+
+
+def _run_pdes_once(tmp_path, tag: str):
+    from repro.pdes import PdesWorld
+
+    tracer = Tracer()
+    world = PdesWorld(
+        8,
+        scheme="nlnr",
+        seed=3,
+        cores_per_node=2,
+        workers=2,
+        flight=True,
+        tracer=tracer,
+    )
+    result = world.run(_chatter)
+    tracer.close()
+    csv_path = tmp_path / f"{tag}.csv"
+    tracer.export_metrics(str(csv_path), interval=result.elapsed / 16)
+    return _stats_bytes(result), csv_path.read_bytes()
+
+
+def test_flight_recorded_pdes_metrics_project_deterministically(tmp_path):
+    """Multi-process metrics rows carry per-worker ``rank_group`` labels
+    and stay byte-identical under the wall-clock projection."""
+    stats1, csv1 = _run_pdes_once(tmp_path, "pdes_run1")
+    stats2, csv2 = _run_pdes_once(tmp_path, "pdes_run2")
+    assert stats1 == stats2
+    assert _project_deterministic(csv1) == _project_deterministic(csv2)
+    rows = list(csv.DictReader(io.StringIO(csv1.decode())))
+    groups = {r["rank_group"] for r in rows}
+    assert groups == {"driver", "worker0", "worker1"}
+    # Worker wall clock is now attributed per process, not folded into
+    # one meaningless total: each worker's rows carry its own samples.
+    for group in ("worker0", "worker1"):
+        assert sum(int(r["events"]) for r in rows if r["rank_group"] == group) > 0
 
 
 def test_fig5_bandwidth_measurement_is_bit_identical():

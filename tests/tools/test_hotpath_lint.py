@@ -190,6 +190,71 @@ def test_flags_per_record_comprehension_and_while(tmp_path):
     assert whats == ["per-record comprehension", "per-record while loop"]
 
 
+def _write_rings_tree(tmp_path, rings_src):
+    root = tmp_path / "repo"
+    pkg = root / "src" / "repro" / "pdes"
+    pkg.mkdir(parents=True)
+    (pkg / "rings.py").write_text(rings_src)
+    return root
+
+
+def test_flags_clock_read_in_ring_fast_path(tmp_path):
+    root = _write_rings_tree(
+        tmp_path,
+        "from time import perf_counter\n"
+        "class SpscRing:\n"
+        "    def try_push(self, payload):\n"
+        "        t0 = perf_counter()\n"  # violation: clock on the fast path
+        "        return 0\n"
+        "    def begin_pop(self):\n"
+        "        self.tracer.record(1)\n"  # violation: recorder call
+        "    def commit_pop(self):\n"
+        "        self.stats.pops += 1\n",  # counter bump: allowed
+    )
+    sites = sorted(
+        (qual, what) for _f, _line, qual, what in hotpath_lint.lint(root)
+    )
+    assert sites == [
+        ("SpscRing.begin_pop", "ring-hot record"),
+        ("SpscRing.try_push", "ring-hot perf_counter"),
+    ]
+
+
+def test_ring_rule_ignores_slow_paths_and_other_classes(tmp_path):
+    root = _write_rings_tree(
+        tmp_path,
+        "from time import perf_counter\n"
+        "class SpscRing:\n"
+        "    def release(self):\n"
+        "        return perf_counter()\n"  # not a fast-path method
+        "def send_batch(ring, exports, scratch):\n"
+        "    return perf_counter()\n",  # module-level helper: fine
+    )
+    assert hotpath_lint.lint(root) == []
+
+
+def test_cli_reports_ring_violation(tmp_path):
+    root = _write_rings_tree(
+        tmp_path,
+        "import time\n"
+        "class SpscRing:\n"
+        "    def commit_pop(self):\n"
+        "        self.t = time.monotonic()\n",
+    )
+    proc = subprocess.run(
+        [
+            sys.executable,
+            str(REPO / "tools" / "hotpath_lint.py"),
+            "--root",
+            str(root),
+        ],
+        capture_output=True,
+        text=True,
+    )
+    assert proc.returncode == 1
+    assert "ring push/pop fast path" in proc.stderr
+
+
 def test_cli_reports_combining_violation(tmp_path):
     root = _write_combiner_tree(
         tmp_path,

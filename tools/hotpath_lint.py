@@ -29,6 +29,15 @@ combiner's *field lists* (``key_fields`` / ``reduce_fields``, a handful
 of names), never over records; a ``for``/``while``/comprehension over
 anything else is a per-record loop sneaking back onto the re-bin path.
 
+PR 10 added a fourth rule for the ring fast path: the flight recorder
+(``repro.pdes.flight``) records per *window*, never per ring operation,
+so ``SpscRing.try_push`` / ``begin_pop`` / ``commit_pop`` must stay
+free of clock reads and recorder calls -- no ``perf_counter`` /
+``monotonic`` / ``time`` and no ``span`` / ``instant`` / ``record`` /
+``counter`` / ``progress``.  The always-on :class:`RingStats` integer
+bumps are the only telemetry allowed there; a timing call on that path
+taxes every batch whether or not anyone is recording.
+
 Usage::
 
     python tools/hotpath_lint.py [--root PATH]
@@ -71,6 +80,35 @@ PICKLE_FREE_FILES = (
 
 #: Files whose loops may only iterate per-*field*, never per-record.
 VECTORIZED_FILES = ("src/repro/core/routing/combiner.py",)
+
+#: Ring fast-path file and the methods that must stay clock/recorder-free.
+RING_FILES = ("src/repro/pdes/rings.py",)
+RING_FAST_METHODS = {
+    "SpscRing.try_push",
+    "SpscRing.begin_pop",
+    "SpscRing.commit_pop",
+}
+
+#: Calls forbidden inside the ring fast path: clock reads and flight/
+#: tracer recording verbs.  Matched by callee name, so both ``time()``
+#: and ``time.monotonic()`` trip it.
+RING_FORBIDDEN_CALLS = {
+    "perf_counter",
+    "perf_counter_ns",
+    "process_time",
+    "thread_time",
+    "monotonic",
+    "monotonic_ns",
+    "time",
+    "time_ns",
+    "clock_gettime",
+    "span",
+    "instant",
+    "complete",
+    "counter",
+    "record",
+    "progress",
+}
 
 
 def _call_name(node: ast.Call) -> str:
@@ -226,6 +264,34 @@ class _VectorizedVisitor(ast.NodeVisitor):
         self._check_comp(node, "comprehension")
 
 
+class _RingFastPathVisitor(ast.NodeVisitor):
+    """Flags clock reads and recorder calls inside the ring fast path."""
+
+    def __init__(self, relpath: str) -> None:
+        self.relpath = relpath
+        self.stack: list[str] = []
+        self.violations: list[tuple[str, int, str, str]] = []
+
+    def _scoped(self, node) -> None:
+        self.stack.append(node.name)
+        self.generic_visit(node)
+        self.stack.pop()
+
+    visit_ClassDef = _scoped
+    visit_FunctionDef = _scoped
+    visit_AsyncFunctionDef = _scoped
+
+    def visit_Call(self, node: ast.Call) -> None:
+        name = _call_name(node)
+        if name in RING_FORBIDDEN_CALLS:
+            qualname = ".".join(self.stack) or "<module>"
+            if qualname in RING_FAST_METHODS:
+                self.violations.append(
+                    (self.relpath, node.lineno, qualname, f"ring-hot {name}")
+                )
+        self.generic_visit(node)
+
+
 def lint_file(path: Path, relpath: str) -> list[tuple[str, int, str, str]]:
     tree = ast.parse(path.read_text(), filename=str(path))
     visitor = _HotPathVisitor(relpath)
@@ -247,6 +313,15 @@ def lint_vectorized(path: Path, relpath: str) -> list[tuple[str, int, str, str]]
     return visitor.violations
 
 
+def lint_ring_fast_path(
+    path: Path, relpath: str
+) -> list[tuple[str, int, str, str]]:
+    tree = ast.parse(path.read_text(), filename=str(path))
+    visitor = _RingFastPathVisitor(relpath)
+    visitor.visit(tree)
+    return visitor.violations
+
+
 def lint(root: Path) -> list[tuple[str, int, str, str]]:
     violations = []
     for rel in HOT_FILES:
@@ -261,6 +336,10 @@ def lint(root: Path) -> list[tuple[str, int, str, str]]:
         path = root / rel
         if path.exists():
             violations.extend(lint_vectorized(path, rel))
+    for rel in RING_FILES:
+        path = root / rel
+        if path.exists():
+            violations.extend(lint_ring_fast_path(path, rel))
     return violations
 
 
@@ -282,6 +361,15 @@ def main(argv=None) -> int:
                 f"lists, never over records",
                 file=sys.stderr,
             )
+        elif name.startswith("ring-hot "):
+            print(
+                f"{relpath}:{lineno}: {name[len('ring-hot '):]}() called in "
+                f"{qualname} -- the ring push/pop fast path must stay free "
+                f"of clock reads and recorder calls (the flight recorder "
+                f"times per window, outside the ring; RingStats integer "
+                f"bumps are the only telemetry allowed here)",
+                file=sys.stderr,
+            )
         elif "pickle" in name:
             print(
                 f"{relpath}:{lineno}: {name} in {qualname} -- the PDES "
@@ -299,7 +387,10 @@ def main(argv=None) -> int:
                 file=sys.stderr,
             )
     if not violations:
-        nfiles = len(HOT_FILES) + len(PICKLE_FREE_FILES) + len(VECTORIZED_FILES)
+        nfiles = (
+            len(HOT_FILES) + len(PICKLE_FREE_FILES) + len(VECTORIZED_FILES)
+            + len(RING_FILES)
+        )
         print(f"hotpath lint: OK ({nfiles} files)")
     return 1 if violations else 0
 
